@@ -1,0 +1,183 @@
+// Package bench regenerates every figure of the paper's evaluation as a Go
+// benchmark. Each benchmark runs the corresponding harness measurement and
+// reports the figure's metric via b.ReportMetric — ms/op for latency-style
+// figures, Mbps for throughput — so `go test -bench . -benchmem` prints the
+// same series the paper plots. The micbench command renders the full tables.
+package bench
+
+import (
+	"testing"
+
+	"mic/internal/addr"
+	"mic/internal/harness"
+	"mic/internal/maga"
+	"mic/internal/sim"
+)
+
+// benchSize keeps benchmark iterations fast while preserving the shapes.
+const benchSize = 1 << 20
+
+// BenchmarkFig7RouteSetup regenerates Fig 7: route setup time per scheme at
+// route length 3 (and per length for the schemes the length affects).
+func BenchmarkFig7RouteSetup(b *testing.B) {
+	for _, scheme := range harness.AllSchemes() {
+		for _, rl := range []int{1, 3, 5} {
+			if (scheme == harness.SchemeTCP || scheme == harness.SchemeSSL) && rl != 3 {
+				continue // route length does not apply
+			}
+			b.Run(scheme.String()+"/len="+itoa(rl), func(b *testing.B) {
+				var total float64
+				for i := 0; i < b.N; i++ {
+					d, err := harness.SetupTime(scheme, rl, uint64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += d.Seconds() * 1e3
+				}
+				b.ReportMetric(total/float64(b.N), "ms-virtual")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8Latency regenerates Fig 8: established-session ping-pong.
+func BenchmarkFig8Latency(b *testing.B) {
+	for _, scheme := range harness.AllSchemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				d, err := harness.PingPongLatency(scheme, 3, uint64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += d.Seconds() * 1e3
+			}
+			b.ReportMetric(total/float64(b.N), "ms-virtual")
+		})
+	}
+}
+
+// BenchmarkFig9aThroughput regenerates Fig 9(a): one-flow throughput.
+func BenchmarkFig9aThroughput(b *testing.B) {
+	for _, scheme := range harness.AllSchemes() {
+		for _, rl := range []int{1, 3, 5} {
+			b.Run(scheme.String()+"/len="+itoa(rl), func(b *testing.B) {
+				var total float64
+				for i := 0; i < b.N; i++ {
+					r, err := harness.ThroughputOneFlow(scheme, rl, benchSize, uint64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += r.Mbps
+				}
+				b.SetBytes(benchSize)
+				b.ReportMetric(total/float64(b.N), "Mbps-virtual")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9bMultiFlow regenerates Fig 9(b): average per-flow throughput
+// as concurrent flows increase.
+func BenchmarkFig9bMultiFlow(b *testing.B) {
+	for _, scheme := range []harness.Scheme{harness.SchemeTCP, harness.SchemeMICTCP, harness.SchemeTor} {
+		for _, flows := range []int{1, 4, 8} {
+			b.Run(scheme.String()+"/flows="+itoa(flows), func(b *testing.B) {
+				var total float64
+				for i := 0; i < b.N; i++ {
+					m, err := harness.MultiFlowAvgThroughput(scheme, flows, benchSize, uint64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += m
+				}
+				b.ReportMetric(total/float64(b.N), "Mbps-virtual")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9cCPU regenerates Fig 9(c): virtual CPU consumed per scheme
+// during the one-flow transfer.
+func BenchmarkFig9cCPU(b *testing.B) {
+	for _, scheme := range harness.AllSchemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				r, err := harness.ThroughputOneFlow(scheme, 3, benchSize, uint64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				util += float64(r.CPUTotal) / float64(r.Wall)
+			}
+			b.ReportMetric(util/float64(b.N), "cpu-cores-virtual")
+		})
+	}
+}
+
+// BenchmarkAblationGlobalHash measures the MAGA generation + decode path
+// that the per-MN-keying ablation (micbench -fig a1) evaluates.
+func BenchmarkAblationGlobalHash(b *testing.B) {
+	w := maga.DefaultWidths()
+	rng := sim.NewRNG(1)
+	pa := maga.NewParams(rng.Stream("a"), w)
+	pb := maga.NewParams(rng.Stream("b"), w)
+	g := maga.NewGenerator(pa, 3, rng.Stream("g"))
+	src, dst := addr.V4(10, 0, 0, 1), addr.V4(10, 0, 0, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := g.Label(uint32(i)&255, src, dst)
+		_ = pb.FlowIDOf(src, dst, l)
+	}
+}
+
+// BenchmarkAblationMPLSSplit compares direct inversion against rejection
+// sampling for minting a label that satisfies both MAGA constraints.
+func BenchmarkAblationMPLSSplit(b *testing.B) {
+	w := maga.DefaultWidths()
+	rng := sim.NewRNG(1)
+	p := maga.NewParams(rng.Stream("p"), w)
+	g := maga.NewGenerator(p, 9, rng.Stream("g"))
+	src, dst := addr.V4(10, 0, 0, 1), addr.V4(10, 0, 0, 2)
+	b.Run("split-inversion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = g.Label(uint32(i)&255, src, dst)
+		}
+	})
+	b.Run("rejection-sampling", func(b *testing.B) {
+		r := sim.NewRNG(2)
+		for i := 0; i < b.N; i++ {
+			want := uint32(i) & 255
+			for {
+				l := addr.Label(r.Uint32()) & addr.MaxLabel
+				if p.ClassOf(l) == 9 && p.FlowIDOf(src, dst, l) == want {
+					break
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationChannelReuse measures channel establishment (the cost
+// that reuse amortizes, micbench -fig a3).
+func BenchmarkAblationChannelReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.SetupTime(harness.SchemeMICTCP, 3, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,78 @@
+// Command micbench regenerates the paper's evaluation: every figure of
+// Section VI plus the quantified security analysis and ablations.
+//
+// Usage:
+//
+//	micbench -fig 9a            # one experiment
+//	micbench -all               # everything
+//	micbench -all -quick        # smaller transfers, single trial
+//	micbench -list              # show experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mic/internal/harness"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "experiment ID to run (7, 8, 9a, 9b, 9c, s1..s4, a1..a3)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiments")
+		quick  = flag.Bool("quick", false, "reduced sizes and trials")
+		seed   = flag.Uint64("seed", 1, "base RNG seed")
+		trials = flag.Int("trials", 0, "trials per data point (0 = default)")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := harness.RunConfig{Seed: *seed, Trials: *trials, Quick: *quick}
+	var exps []harness.Experiment
+	switch {
+	case *all:
+		exps = harness.All()
+	case *fig != "":
+		e, err := harness.Find(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []harness.Experiment{e}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, e := range exps {
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, "fig"+res.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.Table.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command micsim runs a single anonymous-transfer scenario and prints its
+// metrics — a one-off probe for exploring configurations outside the
+// registered experiments.
+//
+// Example:
+//
+//	micsim -scheme mic-tcp -mns 4 -mflows 2 -size 4194304 -from 0 -to 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mic/internal/harness"
+	"mic/internal/mic"
+	"mic/internal/netsim"
+	"mic/internal/sim"
+	"mic/internal/topo"
+	"mic/internal/transport"
+)
+
+func main() {
+	var (
+		scheme  = flag.String("scheme", "mic-tcp", "tcp | ssl | mic-tcp | mic-ssl | tor")
+		mns     = flag.Int("mns", 3, "Mimic Nodes per m-flow (MIC) / relays (Tor)")
+		mflows  = flag.Int("mflows", 1, "m-flows per channel (MIC)")
+		fanout  = flag.Int("fanout", 1, "partial-multicast fanout (MIC)")
+		size    = flag.Int("size", 4<<20, "bytes to transfer")
+		from    = flag.Int("from", 0, "initiator host index (0-15)")
+		to      = flag.Int("to", 15, "responder host index (0-15)")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		latency = flag.Bool("latency", false, "also measure 10-byte ping-pong latency")
+	)
+	flag.Parse()
+
+	s, err := parseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *from == *to || *from < 0 || *to < 0 || *from > 15 || *to > 15 {
+		fmt.Fprintln(os.Stderr, "micsim: -from and -to must be distinct host indices in 0..15")
+		os.Exit(2)
+	}
+
+	switch s {
+	case harness.SchemeMICTCP, harness.SchemeMICSSL:
+		runMIC(s == harness.SchemeMICSSL, *from, *to, *mns, *mflows, *fanout, *size, *seed)
+	default:
+		res, err := harness.ThroughputOneFlow(s, *mns, *size, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("scheme=%v size=%d throughput=%.1f Mbps wall=%v cpu=%v\n",
+			s, *size, res.Mbps, res.Wall, res.CPUTotal)
+	}
+	if *latency {
+		d, err := harness.PingPongLatency(s, *mns, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("pingpong latency=%v\n", d)
+	}
+}
+
+func parseScheme(s string) (harness.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "tcp":
+		return harness.SchemeTCP, nil
+	case "ssl":
+		return harness.SchemeSSL, nil
+	case "mic-tcp", "mic":
+		return harness.SchemeMICTCP, nil
+	case "mic-ssl":
+		return harness.SchemeMICSSL, nil
+	case "tor", "onion":
+		return harness.SchemeTor, nil
+	}
+	return 0, fmt.Errorf("micsim: unknown scheme %q", s)
+}
+
+// runMIC builds the testbed directly so every MIC knob is reachable.
+func runMIC(secure bool, from, to, mns, mflows, fanout, size int, seed uint64) {
+	g, err := topo.FatTree(4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	mc, err := mic.NewMC(net, mic.Config{MNs: mns, MFlows: mflows, MulticastFanout: fanout, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var stacks []*transport.Stack
+	for _, hid := range g.Hosts() {
+		stacks = append(stacks, transport.NewStack(net.Host(hid)))
+	}
+	got := 0
+	var start, end sim.Time
+	mic.Listen(stacks[to], 80, secure, func(s *mic.Stream) {
+		s.OnData(func(b []byte) {
+			got += len(b)
+			if got >= size {
+				end = eng.Now()
+			}
+		})
+	})
+	client := mic.NewClient(stacks[from], mc)
+	client.Secure = secure
+	data := make([]byte, size)
+	var setup time.Duration
+	client.Dial(stacks[to].Host.IP.String(), 80, func(s *mic.Stream, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		setup = time.Duration(eng.Now())
+		start = eng.Now()
+		s.Send(data)
+	})
+	eng.Run()
+	if got < size {
+		fmt.Fprintf(os.Stderr, "micsim: transfer incomplete (%d/%d bytes)\n", got, size)
+		os.Exit(1)
+	}
+	wall := time.Duration(end - start)
+	info, _ := client.Channel(stacks[to].Host.IP.String())
+	fmt.Printf("scheme=MIC secure=%v mns=%d mflows=%d fanout=%d\n", secure, mns, mflows, fanout)
+	fmt.Printf("setup=%v throughput=%.1f Mbps wall=%v cpu=%v\n",
+		setup, float64(size)*8/wall.Seconds()/1e6, wall, net.CPU.Total())
+	for i, f := range info.Flows {
+		fmt.Printf("m-flow %d: entry=%v path=%s MNs=%d\n", i, f.Entry, f.Path.Render(g), len(f.MNs))
+	}
+}

@@ -1,0 +1,97 @@
+// Command mictrace records a complete anonymous exchange and dumps the
+// packet capture — the simulator's tcpdump. Useful for eyeballing exactly
+// what each switch observes under MIC.
+//
+// Example:
+//
+//	mictrace -node core1 -out /tmp/core1.pcap
+//	mictrace -node edge1_1          # text dump to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mic/internal/mic"
+	"mic/internal/netsim"
+	"mic/internal/sim"
+	"mic/internal/topo"
+	"mic/internal/trace"
+	"mic/internal/transport"
+)
+
+func main() {
+	var (
+		node  = flag.String("node", "", "switch to tap (empty = all switches)")
+		out   = flag.String("out", "", "write pcap here (empty = text to stdout)")
+		size  = flag.Int("size", 20000, "bytes to transfer")
+		mns   = flag.Int("mns", 3, "Mimic Nodes")
+		limit = flag.Int("limit", 2000, "max captured events")
+	)
+	flag.Parse()
+
+	g, err := topo.FatTree(4)
+	if err != nil {
+		fail(err)
+	}
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	mc, err := mic.NewMC(net, mic.Config{MNs: *mns})
+	if err != nil {
+		fail(err)
+	}
+	rec := trace.New(net, *limit)
+	if *node == "" {
+		rec.AttachAllSwitches()
+	} else {
+		found := false
+		for _, sid := range g.Switches() {
+			if g.Node(sid).Name == *node {
+				rec.Attach(sid)
+				found = true
+			}
+		}
+		if !found {
+			fail(fmt.Errorf("mictrace: no switch named %q", *node))
+		}
+	}
+
+	stacks := make([]*transport.Stack, 0, 16)
+	for _, hid := range g.Hosts() {
+		stacks = append(stacks, transport.NewStack(net.Host(hid)))
+	}
+	mic.Listen(stacks[15], 80, false, func(s *mic.Stream) {
+		s.OnData(func(b []byte) { s.Send(b[:min(len(b), 100)]) })
+	})
+	client := mic.NewClient(stacks[0], mc)
+	client.Dial(stacks[15].Host.IP.String(), 80, func(s *mic.Stream, err error) {
+		if err != nil {
+			fail(err)
+		}
+		s.Send(make([]byte, *size))
+	})
+	eng.Run()
+
+	if *out == "" {
+		fmt.Print(rec.Text())
+		if rec.Truncated() > 0 {
+			fmt.Fprintf(os.Stderr, "(%d events beyond -limit dropped)\n", rec.Truncated())
+		}
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := rec.WritePcap(f); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d events to %s\n", rec.Len(), *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Filetransfer: bulk anonymous transfer over multiple m-flows (Sec IV-C,
+// the multiple-m-flows mechanism). A 2 MiB object is sliced across four
+// m-flows with independent paths and m-addresses; an observer at any single
+// point sees only a fraction of the real traffic volume. The demo reports
+// the slice split and verifies integrity end to end.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"log"
+	"time"
+
+	"mic/internal/mic"
+	"mic/internal/netsim"
+	"mic/internal/sim"
+	"mic/internal/topo"
+	"mic/internal/transport"
+)
+
+func main() {
+	graph, err := topo.FatTree(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sim.New()
+	net := netsim.New(eng, graph, netsim.Config{})
+	mc, err := mic.NewMC(net, mic.Config{MFlows: 4, MNs: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hosts := graph.Hosts()
+	src := transport.NewStack(net.Host(hosts[2]))
+	dst := transport.NewStack(net.Host(hosts[13]))
+
+	const size = 2 << 20
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	want := sha256.Sum256(payload)
+
+	var got []byte
+	var doneAt sim.Time
+	mic.Listen(dst, 9000, false, func(s *mic.Stream) {
+		s.OnData(func(b []byte) {
+			got = append(got, b...)
+			if len(got) >= size {
+				doneAt = eng.Now()
+			}
+		})
+	})
+
+	client := mic.NewClient(src, mc)
+	var stream *mic.Stream
+	var startAt sim.Time
+	client.Dial(dst.Host.IP.String(), 9000, func(s *mic.Stream, err error) {
+		if err != nil {
+			log.Fatalf("dial: %v", err)
+		}
+		stream = s
+		startAt = eng.Now()
+		s.Send(payload)
+	})
+	eng.Run()
+
+	if sha256.Sum256(got) != want {
+		log.Fatalf("integrity check failed (%d/%d bytes)", len(got), size)
+	}
+	wall := time.Duration(doneAt - startAt)
+	fmt.Printf("transferred %d bytes over %d m-flows in %v (%.0f Mbps)\n",
+		size, stream.FlowCount(), wall, float64(size)*8/wall.Seconds()/1e6)
+
+	info, _ := client.Channel(dst.Host.IP.String())
+	total := int64(0)
+	for _, n := range stream.SlicesOut {
+		total += n
+	}
+	fmt.Println("slice distribution across m-flows:")
+	for i, n := range stream.SlicesOut {
+		fmt.Printf("  m-flow %d via entry %v: %d slices (%.0f%%), path %s\n",
+			i, info.Flows[i].Entry, n, 100*float64(n)/float64(total),
+			info.Flows[i].Path.Render(graph))
+	}
+	fmt.Println("an observer on any one path sees only that flow's share of the volume")
+}

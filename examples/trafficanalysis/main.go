@@ -1,0 +1,78 @@
+// Trafficanalysis: an adversary compromises the first Mimic Node and runs
+// the paper's ingress/egress correlation attack (Sec V). The demo runs the
+// same transfer twice — without and with partial multicast — and shows the
+// attack's success probability dropping toward 1/fanout, plus the decoy
+// bandwidth cost (Sec IV-C, Fig 6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mic/internal/adversary"
+	"mic/internal/mic"
+	"mic/internal/netsim"
+	"mic/internal/sim"
+	"mic/internal/topo"
+	"mic/internal/transport"
+)
+
+func run(fanout int) (rep adversary.CorrelationReport, fabricBytes uint64) {
+	graph, err := topo.FatTree(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sim.New()
+	net := netsim.New(eng, graph, netsim.Config{})
+	mc, err := mic.NewMC(net, mic.Config{MNs: 3, MulticastFanout: fanout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hosts := graph.Hosts()
+	src := transport.NewStack(net.Host(hosts[0]))
+	dst := transport.NewStack(net.Host(hosts[15]))
+
+	// The adversary mirrors every switch; it will focus on the first MN
+	// once it identifies the flow.
+	caps := make(map[topo.NodeID]*adversary.Capture)
+	for _, sid := range graph.Switches() {
+		caps[sid] = adversary.Tap(net, sid)
+	}
+
+	mic.Listen(dst, 80, false, func(s *mic.Stream) { s.OnData(func([]byte) {}) })
+	client := mic.NewClient(src, mc)
+	client.Dial(dst.Host.IP.String(), 80, func(s *mic.Stream, err error) {
+		if err != nil {
+			log.Fatalf("dial: %v", err)
+		}
+		data := make([]byte, 64<<10)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		s.Send(data)
+	})
+	eng.Run()
+
+	info, _ := client.Channel(dst.Host.IP.String())
+	firstMN := info.Flows[0].MNs[0]
+	return caps[firstMN].IngressEgressCorrelation(), net.Stats.TxBytes
+}
+
+func main() {
+	fmt.Println("adversary at the first Mimic Node: match each ingress packet")
+	fmt.Println("to the content-identical egress packet (headers are rewritten,")
+	fmt.Println("payload is not)")
+	fmt.Println()
+	base, baseBytes := run(1)
+	fmt.Printf("without partial multicast: success=%.2f (candidates %.2f) over %d packets\n",
+		base.MeanSuccess, base.MeanCandidates, base.DataPackets)
+	for _, fanout := range []int{2, 3} {
+		rep, bytes := run(fanout)
+		fmt.Printf("fanout %d:                  success=%.2f (candidates %.2f), decoy overhead +%.0f%% fabric bytes\n",
+			fanout, rep.MeanSuccess, rep.MeanCandidates,
+			100*(float64(bytes)/float64(baseBytes)-1))
+	}
+	fmt.Println()
+	fmt.Println("each decoy clone carries a different m-address and dies at its")
+	fmt.Println("next hop (Fig 6); the adversary cannot tell which copy is real")
+}

@@ -1,0 +1,3 @@
+module mic
+
+go 1.22

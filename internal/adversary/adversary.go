@@ -1,0 +1,343 @@
+// Package adversary implements the threat model of Sec III-B / Sec V: an
+// attacker who compromises switches or uses port mirroring to observe and
+// correlate traffic. It quantifies what the paper argues qualitatively —
+// correlation success at a Mimic Node, size-based traffic estimation, and
+// which real endpoint addresses a compromised switch position exposes.
+package adversary
+
+import (
+	"bytes"
+	"math"
+	"time"
+
+	"mic/internal/addr"
+	"mic/internal/netsim"
+	"mic/internal/packet"
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+// Capture is a port-mirror attached to one switch, recording every frame.
+type Capture struct {
+	Node   topo.NodeID
+	Events []netsim.TapEvent
+}
+
+// Tap attaches a capture to node. Call before traffic starts.
+func Tap(net *netsim.Network, node topo.NodeID) *Capture {
+	c := &Capture{Node: node}
+	net.AddTap(node, func(ev netsim.TapEvent) {
+		c.Events = append(c.Events, ev)
+	})
+	return c
+}
+
+// CorrelationReport summarizes an ingress/egress matching attack.
+type CorrelationReport struct {
+	// DataPackets is the number of payload-carrying ingress packets the
+	// adversary tried to trace.
+	DataPackets int
+	// MeanSuccess is the adversary's expected probability of picking the
+	// true egress packet for an ingress packet, assuming it must choose
+	// uniformly among content-identical candidates. Partial multicast
+	// (fanout K) drives this toward 1/K.
+	MeanSuccess float64
+	// MeanCandidates is the average size of the candidate set.
+	MeanCandidates float64
+}
+
+// IngressEgressCorrelation runs the paper's packet-matching attack at a
+// single switch (Sec V, "traffic observing attack"): for every ingress
+// data packet, the adversary searches the egress record for packets with
+// identical payload bytes. Mimic Nodes rewrite headers but not payloads, so
+// candidates always exist; the question is only how many.
+func (c *Capture) IngressEgressCorrelation() CorrelationReport {
+	var rep CorrelationReport
+	var sum float64
+	var candSum int
+	for _, in := range c.Events {
+		if in.Dir != netsim.Ingress || len(in.Pkt.Payload) == 0 {
+			continue
+		}
+		candidates := map[packet.FlowKey]bool{}
+		for _, out := range c.Events {
+			if out.Dir != netsim.Egress || out.At < in.At {
+				continue
+			}
+			if bytes.Equal(out.Pkt.Payload, in.Pkt.Payload) {
+				candidates[out.Pkt.Key()] = true
+			}
+		}
+		if len(candidates) == 0 {
+			continue // packet was consumed here (e.g. delivered to a host)
+		}
+		rep.DataPackets++
+		sum += 1 / float64(len(candidates))
+		candSum += len(candidates)
+	}
+	if rep.DataPackets > 0 {
+		rep.MeanSuccess = sum / float64(rep.DataPackets)
+		rep.MeanCandidates = float64(candSum) / float64(rep.DataPackets)
+	}
+	return rep
+}
+
+// FlowVolumes aggregates payload bytes per flow key seen at the tap
+// (ingress only), the raw material of size-based traffic analysis.
+func (c *Capture) FlowVolumes() map[packet.FlowKey]int64 {
+	vols := make(map[packet.FlowKey]int64)
+	for _, ev := range c.Events {
+		if ev.Dir == netsim.Ingress && len(ev.Pkt.Payload) > 0 {
+			vols[ev.Pkt.Key()] += int64(len(ev.Pkt.Payload))
+		}
+	}
+	return vols
+}
+
+// LargestFlowFraction returns the adversary's best single-flow size
+// estimate as a fraction of the real total: the biggest per-key volume
+// divided by total. With F m-flows over disjoint paths this tends to 1/F —
+// quantifying the multiple-m-flows defense.
+func LargestFlowFraction(caps []*Capture, total int64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	merged := make(map[packet.FlowKey]int64)
+	for _, c := range caps {
+		for k, v := range c.FlowVolumes() {
+			if v > merged[k] {
+				merged[k] = v // same flow at multiple taps: count once
+			}
+		}
+	}
+	var best int64
+	for _, v := range merged {
+		if v > best {
+			best = v
+		}
+	}
+	f := float64(best) / float64(total)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Exposure reports which of the given real addresses appeared in any
+// header field at the tap — what a compromised switch at this position
+// learns (Sec V, "compromise switches").
+func (c *Capture) Exposure(ips ...addr.IP) map[addr.IP]bool {
+	out := make(map[addr.IP]bool, len(ips))
+	for _, ev := range c.Events {
+		for _, ip := range ips {
+			if ev.Pkt.SrcIP == ip || ev.Pkt.DstIP == ip {
+				out[ip] = true
+			}
+		}
+	}
+	return out
+}
+
+// LinkedPairs counts packets that expose BOTH addresses of a communication
+// pair at once — a direct unlinkability violation.
+func (c *Capture) LinkedPairs(a, b addr.IP) int {
+	n := 0
+	for _, ev := range c.Events {
+		srcHit := ev.Pkt.SrcIP == a || ev.Pkt.SrcIP == b
+		dstHit := ev.Pkt.DstIP == a || ev.Pkt.DstIP == b
+		if srcHit && dstHit {
+			n++
+		}
+	}
+	return n
+}
+
+// payloadSignatures collects the payload contents of packets at this tap
+// that involve ip in either address field. Content is the only invariant
+// that survives MN rewriting, so it is the adversary's cross-tap join key.
+func (c *Capture) payloadSignatures(ip addr.IP) map[string]bool {
+	sigs := make(map[string]bool)
+	for _, ev := range c.Events {
+		if len(ev.Pkt.Payload) == 0 {
+			continue
+		}
+		if ev.Pkt.SrcIP == ip || ev.Pkt.DstIP == ip {
+			sigs[string(ev.Pkt.Payload)] = true
+		}
+	}
+	return sigs
+}
+
+// Linked runs the end-to-end correlation attack with an arbitrary set of
+// compromised observation points: the adversary links initIP to respIP iff
+// some compromised tap saw payload P attributed to initIP and some
+// compromised tap saw the same payload attributed to respIP. The paper
+// concedes MIC cannot defeat this attack outright (Sec IV-C); the s4
+// experiment quantifies how many compromised switches it takes.
+func Linked(caps []*Capture, initIP, respIP addr.IP) bool {
+	initSigs := make(map[string]bool)
+	for _, c := range caps {
+		for sig := range c.payloadSignatures(initIP) {
+			initSigs[sig] = true
+		}
+	}
+	if len(initSigs) == 0 {
+		return false
+	}
+	for _, c := range caps {
+		for sig := range c.payloadSignatures(respIP) {
+			if initSigs[sig] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RateSeries buckets the ingress payload bytes of one flow key into fixed
+// windows, producing the rate signal used by the paper's "size- or
+// rate-based traffic-analysis" adversary.
+func (c *Capture) RateSeries(window time.Duration, key packet.FlowKey, until sim.Time) []float64 {
+	return c.rateSeriesDir(window, key, until, netsim.Ingress)
+}
+
+// rateSeriesDir is RateSeries restricted to one mirror direction.
+func (c *Capture) rateSeriesDir(window time.Duration, key packet.FlowKey, until sim.Time, dir netsim.Direction) []float64 {
+	if window <= 0 {
+		panic("adversary: non-positive rate window")
+	}
+	n := int(until/sim.Time(window)) + 1
+	out := make([]float64, n)
+	for _, ev := range c.Events {
+		if ev.Dir != dir || len(ev.Pkt.Payload) == 0 || ev.Pkt.Key() != key {
+			continue
+		}
+		idx := int(ev.At / sim.Time(window))
+		if idx < n {
+			out[idx] += float64(len(ev.Pkt.Payload))
+		}
+	}
+	return out
+}
+
+// FlowKeys lists the distinct data-carrying flow keys seen at the tap,
+// on either mirror direction. A key rewritten AT this switch appears only
+// on one side (e.g. the restored destination tuple exists only on egress
+// when this switch is the last Mimic Node), so both directions matter.
+func (c *Capture) FlowKeys() []packet.FlowKey {
+	seen := map[packet.FlowKey]bool{}
+	var out []packet.FlowKey
+	for _, ev := range c.Events {
+		if len(ev.Pkt.Payload) == 0 {
+			continue
+		}
+		k := ev.Pkt.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// hasIngress reports whether the key carries data on the ingress mirror.
+func (c *Capture) hasIngress(key packet.FlowKey) bool {
+	for _, ev := range c.Events {
+		if ev.Dir == netsim.Ingress && len(ev.Pkt.Payload) > 0 && ev.Pkt.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Pearson computes the correlation coefficient of two equal-length series.
+// Returns 0 when either series is constant or the lengths differ.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / (math.Sqrt(va) * math.Sqrt(vb))
+}
+
+// RateMatch scores every flow at the tap against a target rate signal and
+// returns the best-matching flow's key, its Pearson correlation, and its
+// peak-rate ratio versus the target — the adversary's flow identification
+// plus rate estimate.
+func (c *Capture) RateMatch(window time.Duration, target []float64, until sim.Time) (best packet.FlowKey, bestCorr, peakRatio float64) {
+	targetPeak := 0.0
+	for _, v := range target {
+		if v > targetPeak {
+			targetPeak = v
+		}
+	}
+	for _, key := range c.FlowKeys() {
+		dir := netsim.Ingress
+		if !c.hasIngress(key) {
+			dir = netsim.Egress // key minted at this switch: egress only
+		}
+		series := c.rateSeriesDir(window, key, until, dir)
+		if corr := Pearson(series, target); corr > bestCorr {
+			best = key
+			bestCorr = corr
+			peak := 0.0
+			for _, v := range series {
+				if v > peak {
+					peak = v
+				}
+			}
+			if targetPeak > 0 {
+				peakRatio = peak / targetPeak
+			}
+		}
+	}
+	return best, bestCorr, peakRatio
+}
+
+// RateMatchTop returns every flow whose correlation with the target is
+// within eps of the best match — the adversary's candidate set when several
+// observations of the same underlying flow (e.g. its pre- and post-rewrite
+// tuples at a Mimic Node) tie.
+func (c *Capture) RateMatchTop(window time.Duration, target []float64, until sim.Time, eps float64) []packet.FlowKey {
+	type scored struct {
+		key  packet.FlowKey
+		corr float64
+	}
+	var all []scored
+	best := 0.0
+	for _, key := range c.FlowKeys() {
+		dir := netsim.Ingress
+		if !c.hasIngress(key) {
+			dir = netsim.Egress
+		}
+		corr := Pearson(c.rateSeriesDir(window, key, until, dir), target)
+		all = append(all, scored{key, corr})
+		if corr > best {
+			best = corr
+		}
+	}
+	var out []packet.FlowKey
+	for _, s := range all {
+		if s.corr >= best-eps && s.corr > 0 {
+			out = append(out, s.key)
+		}
+	}
+	return out
+}

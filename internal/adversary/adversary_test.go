@@ -1,0 +1,422 @@
+package adversary
+
+import (
+	"testing"
+	"time"
+
+	"mic/internal/addr"
+	"mic/internal/ctrlplane"
+	"mic/internal/flowtable"
+	"mic/internal/mic"
+	"mic/internal/netsim"
+	"mic/internal/packet"
+	"mic/internal/sim"
+	"mic/internal/topo"
+	"mic/internal/transport"
+)
+
+// micFixture stands up a fat-tree with an MC and stacks.
+type micFixture struct {
+	eng    *sim.Engine
+	net    *netsim.Network
+	mc     *mic.MC
+	stacks []*transport.Stack
+	graph  *topo.Graph
+}
+
+func newMICFixture(t testing.TB, cfg mic.Config) *micFixture {
+	t.Helper()
+	g, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	mcc, err := mic.NewMC(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &micFixture{eng: eng, net: net, mc: mcc, graph: g}
+	for _, hid := range g.Hosts() {
+		f.stacks = append(f.stacks, transport.NewStack(net.Host(hid)))
+	}
+	return f
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*53 + i>>6)
+	}
+	return b
+}
+
+// run establishes a MIC channel h0 -> h15 with taps on every switch and
+// pushes data through it, returning the captures plus the channel info.
+func runWithTaps(t *testing.T, cfg mic.Config, size int) (*micFixture, map[topo.NodeID]*Capture, *mic.ChannelInfo) {
+	f := newMICFixture(t, cfg)
+	caps := make(map[topo.NodeID]*Capture)
+	for _, sid := range f.graph.Switches() {
+		caps[sid] = Tap(f.net, sid)
+	}
+	mic.Listen(f.stacks[15], 80, false, func(s *mic.Stream) {
+		s.OnData(func([]byte) {})
+	})
+	client := mic.NewClient(f.stacks[0], f.mc)
+	client.Dial(f.stacks[15].Host.IP.String(), 80, func(s *mic.Stream, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		s.Send(pattern(size))
+	})
+	f.eng.Run()
+	info, _ := client.Channel(f.stacks[15].Host.IP.String())
+	return f, caps, info
+}
+
+func TestCorrelationWithoutMulticastIsCertain(t *testing.T) {
+	_, caps, info := runWithTaps(t, mic.Config{MNs: 3}, 20_000)
+	firstMN := info.Flows[0].MNs[0]
+	rep := caps[firstMN].IngressEgressCorrelation()
+	if rep.DataPackets == 0 {
+		t.Fatal("no data packets observed at the first MN")
+	}
+	if rep.MeanSuccess < 0.95 {
+		t.Fatalf("without multicast, correlation should be near-certain; got %.3f", rep.MeanSuccess)
+	}
+}
+
+func TestPartialMulticastReducesCorrelation(t *testing.T) {
+	_, caps, info := runWithTaps(t, mic.Config{MNs: 3, MulticastFanout: 3}, 20_000)
+	firstMN := info.Flows[0].MNs[0]
+	rep := caps[firstMN].IngressEgressCorrelation()
+	if rep.DataPackets == 0 {
+		t.Fatal("no data packets observed")
+	}
+	if rep.MeanSuccess > 0.6 {
+		t.Fatalf("fanout 3 should push success toward 1/3; got %.3f (candidates %.2f)",
+			rep.MeanSuccess, rep.MeanCandidates)
+	}
+	if rep.MeanCandidates < 2 {
+		t.Fatalf("candidates = %.2f, want >= 2 with fanout 3", rep.MeanCandidates)
+	}
+}
+
+func TestExposureByPosition(t *testing.T) {
+	f, caps, info := runWithTaps(t, mic.Config{MNs: 3}, 8_000)
+	initIP, respIP := f.stacks[0].Host.IP, f.stacks[15].Host.IP
+	flow := info.Flows[0]
+	// Locate the switch before the first MN (the initiator's edge) and the
+	// segment after the last MN.
+	for _, c := range caps {
+		if got := c.LinkedPairs(initIP, respIP); got != 0 {
+			// Packets linking initiator and responder must never appear.
+			// (LinkedPairs counts src/dst hits across the pair; a packet
+			// between initiator and an m-address is fine.)
+			for _, ev := range c.Events {
+				if (ev.Pkt.SrcIP == initIP && ev.Pkt.DstIP == respIP) ||
+					(ev.Pkt.SrcIP == respIP && ev.Pkt.DstIP == initIP) {
+					t.Fatalf("direct linkage packet observed at %v", c.Node)
+				}
+			}
+		}
+	}
+	// No single switch exposes both endpoints.
+	for sid, c := range caps {
+		exp := c.Exposure(initIP, respIP)
+		if exp[initIP] && exp[respIP] {
+			t.Errorf("switch %s exposed both endpoints", f.graph.Node(sid).Name)
+		}
+	}
+	_ = flow
+}
+
+func TestMultipleMFlowsHideSize(t *testing.T) {
+	frac := func(mflows int) float64 {
+		f := newMICFixture(t, mic.Config{MFlows: mflows, MNs: 2})
+		var caps []*Capture
+		for _, sid := range f.graph.Switches() {
+			caps = append(caps, Tap(f.net, sid))
+		}
+		const total = 120_000
+		mic.Listen(f.stacks[15], 80, false, func(s *mic.Stream) { s.OnData(func([]byte) {}) })
+		client := mic.NewClient(f.stacks[0], f.mc)
+		client.Dial(f.stacks[15].Host.IP.String(), 80, func(s *mic.Stream, err error) {
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			s.Send(pattern(total))
+		})
+		f.eng.Run()
+		return LargestFlowFraction(caps, total)
+	}
+	one := frac(1)
+	four := frac(4)
+	if one < 0.9 {
+		t.Fatalf("single m-flow should expose ~full size; got %.2f", one)
+	}
+	if four > 0.75*one {
+		t.Fatalf("4 m-flows should hide size substantially: single=%.2f four=%.2f", one, four)
+	}
+}
+
+func TestCaptureRecordsEvents(t *testing.T) {
+	g, _ := topo.Linear(1)
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	sw := net.Switch(g.Switches()[0])
+	cap := Tap(net, sw.ID)
+	h2 := net.Host(g.Hosts()[1])
+	sw.Table.Insert(&flowtable.Entry{Priority: 1, Actions: []flowtable.Action{flowtable.Output(g.PortTo(sw.ID, h2.ID))}}, 0)
+	h2.SetHandler(func(int, *packet.Packet) {})
+	h1 := net.Host(g.Hosts()[0])
+	h1.Send(0, &packet.Packet{SrcIP: h1.IP, DstIP: h2.IP, TTL: 64, Payload: []byte("x")})
+	eng.Run()
+	if len(cap.Events) != 2 { // ingress + egress
+		t.Fatalf("events = %d, want 2", len(cap.Events))
+	}
+	if cap.Events[0].Dir != netsim.Ingress || cap.Events[1].Dir != netsim.Egress {
+		t.Fatalf("directions wrong: %v %v", cap.Events[0].Dir, cap.Events[1].Dir)
+	}
+}
+
+func TestFlowVolumes(t *testing.T) {
+	c := &Capture{}
+	key := func(s, d byte) *packet.Packet {
+		return &packet.Packet{SrcIP: addr.V4(10, 0, 0, s), DstIP: addr.V4(10, 0, 0, d), Payload: []byte("abcd")}
+	}
+	c.Events = []netsim.TapEvent{
+		{Dir: netsim.Ingress, Pkt: key(1, 2)},
+		{Dir: netsim.Ingress, Pkt: key(1, 2)},
+		{Dir: netsim.Ingress, Pkt: key(3, 4)},
+		{Dir: netsim.Egress, Pkt: key(1, 2)}, // egress ignored
+	}
+	vols := c.FlowVolumes()
+	if len(vols) != 2 {
+		t.Fatalf("flows = %d", len(vols))
+	}
+	k := packet.FlowKey{SrcIP: addr.V4(10, 0, 0, 1), DstIP: addr.V4(10, 0, 0, 2), Label: packet.NoLabel}
+	if vols[k] != 8 {
+		t.Fatalf("volume = %d, want 8", vols[k])
+	}
+}
+
+func TestLargestFlowFractionBounds(t *testing.T) {
+	if f := LargestFlowFraction(nil, 0); f != 0 {
+		t.Fatalf("empty = %v", f)
+	}
+	c := &Capture{Events: []netsim.TapEvent{
+		{Dir: netsim.Ingress, Pkt: &packet.Packet{SrcIP: 1, DstIP: 2, Payload: make([]byte, 100)}},
+	}}
+	if f := LargestFlowFraction([]*Capture{c}, 50); f != 1 {
+		t.Fatalf("fraction should clamp to 1, got %v", f)
+	}
+}
+
+func TestLinkedRequiresBothSegments(t *testing.T) {
+	f, caps, info := runWithTaps(t, mic.Config{MNs: 3}, 10_000)
+	initIP, respIP := f.stacks[0].Host.IP, f.stacks[15].Host.IP
+	flow := info.Flows[0]
+
+	var all []*Capture
+	for _, c := range caps {
+		all = append(all, c)
+	}
+	// A global adversary links the endpoints (out of the threat model, but
+	// the attack primitive must work).
+	if !Linked(all, initIP, respIP) {
+		t.Fatal("global adversary failed to link endpoints")
+	}
+
+	// Compromising only switches strictly between the first and last MN
+	// must NOT suffice: they see neither real address.
+	var middle []*Capture
+	mnSet := map[topo.NodeID]bool{}
+	for _, mn := range flow.MNs {
+		mnSet[mn] = true
+	}
+	inMiddle := false
+	for _, node := range flow.Path {
+		if f.graph.Node(node).Kind != topo.KindSwitch {
+			continue
+		}
+		if node == flow.MNs[0] {
+			inMiddle = true
+			continue
+		}
+		if node == flow.MNs[len(flow.MNs)-1] {
+			break
+		}
+		if inMiddle {
+			middle = append(middle, caps[node])
+		}
+	}
+	if len(middle) > 0 && Linked(middle, initIP, respIP) {
+		t.Fatal("between-MN switches alone linked the endpoints")
+	}
+
+	// First MN alone must not suffice either (it never sees the responder).
+	if Linked([]*Capture{caps[flow.MNs[0]]}, initIP, respIP) {
+		t.Fatal("first MN alone linked the endpoints")
+	}
+}
+
+func TestLinkedTrivialForPlainTCP(t *testing.T) {
+	// Without MIC, one on-path switch links the endpoints.
+	g, _ := topo.FatTree(4)
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	router := &ctrlplane.ProactiveRouter{CFLabel: 321}
+	if _, err := router.Install(net); err != nil {
+		t.Fatal(err)
+	}
+	var caps []*Capture
+	for _, sid := range g.Switches() {
+		caps = append(caps, Tap(net, sid))
+	}
+	a := transport.NewStack(net.Host(g.Hosts()[0]))
+	b := transport.NewStack(net.Host(g.Hosts()[15]))
+	b.Listen(80, func(c *transport.Conn) { c.OnData(func([]byte) {}) })
+	a.Dial(b.Host.IP, 80, func(c *transport.Conn, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Send(pattern(5000))
+	})
+	eng.Run()
+	// Any single tap that saw the flow links it.
+	linkedBySingle := false
+	for _, c := range caps {
+		if len(c.Events) > 0 && Linked([]*Capture{c}, a.Host.IP, b.Host.IP) {
+			linkedBySingle = true
+			break
+		}
+	}
+	if !linkedBySingle {
+		t.Fatal("no single on-path switch linked a plain TCP flow")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if c := Pearson(a, a); c < 0.999 {
+		t.Fatalf("self-correlation = %v", c)
+	}
+	b := []float64{4, 3, 2, 1}
+	if c := Pearson(a, b); c > -0.999 {
+		t.Fatalf("anti-correlation = %v", c)
+	}
+	if c := Pearson(a, []float64{5, 5, 5, 5}); c != 0 {
+		t.Fatalf("constant series correlation = %v", c)
+	}
+	if c := Pearson(a, []float64{1, 2}); c != 0 {
+		t.Fatalf("length mismatch correlation = %v", c)
+	}
+}
+
+func TestRateSeries(t *testing.T) {
+	c := &Capture{}
+	key := packet.FlowKey{SrcIP: 1, DstIP: 2, Label: packet.NoLabel}
+	mk := func(at sim.Time, n int) netsim.TapEvent {
+		return netsim.TapEvent{
+			Dir: netsim.Ingress, At: at,
+			Pkt: &packet.Packet{SrcIP: 1, DstIP: 2, Payload: make([]byte, n)},
+		}
+	}
+	c.Events = []netsim.TapEvent{
+		mk(0, 100), mk(sim.Time(5e5), 50), // window 0
+		mk(sim.Time(1.5e6), 200), // window 1
+		mk(sim.Time(3.2e6), 10),  // window 3
+	}
+	s := c.RateSeries(time.Millisecond, key, sim.Time(4e6))
+	want := []float64{150, 200, 0, 10, 0}
+	if len(s) != len(want) {
+		t.Fatalf("series length = %d, want %d", len(s), len(want))
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("window %d = %v, want %v", i, s[i], want[i])
+		}
+	}
+	if got := len(c.FlowKeys()); got != 1 {
+		t.Fatalf("FlowKeys = %d", got)
+	}
+}
+
+// TestRatePatternAnalysis runs the paper's rate-based adversary on a bursty
+// sender: with one m-flow the pattern is fully visible at the responder
+// edge; with several, the best single flow shows a diluted amplitude —
+// though the temporal shape survives, matching the paper's admission that
+// end-to-end correlation is not fully defeated.
+func TestRatePatternAnalysis(t *testing.T) {
+	run := func(mflows int) (corr, peak float64) {
+		f := newMICFixture(t, mic.Config{MFlows: mflows, MNs: 2})
+		var caps []*Capture
+		for _, sid := range f.graph.Switches() {
+			caps = append(caps, Tap(f.net, sid))
+		}
+		mic.Listen(f.stacks[15], 80, false, func(s *mic.Stream) { s.OnData(func([]byte) {}) })
+		client := mic.NewClient(f.stacks[0], f.mc)
+		var sendBursts func(s *mic.Stream, n int)
+		sendBursts = func(s *mic.Stream, n int) {
+			if n == 0 {
+				return
+			}
+			s.Send(pattern(30_000))
+			f.eng.After(4*time.Millisecond, func() { sendBursts(s, n-1) })
+		}
+		client.Dial(f.stacks[15].Host.IP.String(), 80, func(s *mic.Stream, err error) {
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			sendBursts(s, 5)
+		})
+		f.eng.Run()
+		until := f.eng.Now()
+		window := time.Millisecond
+		// Ground truth: the victim's aggregate pattern at the initiator edge
+		// (sum over that tap's flows toward the channel).
+		edge := caps[0] // edge1_1 is switch index 0's capture? find by exposure instead
+		for _, c := range caps {
+			if len(c.Exposure(f.stacks[0].Host.IP)) > 0 {
+				edge = c
+				break
+			}
+		}
+		var agg []float64
+		for _, k := range edge.FlowKeys() {
+			s := edge.RateSeries(window, k, until)
+			if agg == nil {
+				agg = make([]float64, len(s))
+			}
+			for i := range s {
+				agg[i] += s[i]
+			}
+		}
+		// Adversary at the responder edge.
+		var respEdge *Capture
+		for _, c := range caps {
+			if len(c.Exposure(f.stacks[15].Host.IP)) > 0 {
+				respEdge = c
+				break
+			}
+		}
+		if respEdge == nil {
+			t.Fatal("no capture saw the responder")
+		}
+		_, corr, peak = respEdge.RateMatch(window, agg, until)
+		return corr, peak
+	}
+	corr1, peak1 := run(1)
+	corr4, peak4 := run(4)
+	if corr1 < 0.8 {
+		t.Fatalf("single m-flow rate correlation = %.2f, want high", corr1)
+	}
+	if peak1 < 0.8 {
+		t.Fatalf("single m-flow peak ratio = %.2f, want ~1", peak1)
+	}
+	if peak4 > 0.7*peak1 {
+		t.Fatalf("4 m-flows should dilute the observable peak: %.2f vs %.2f", peak4, peak1)
+	}
+	_ = corr4 // shape may survive; that is the documented limitation
+}

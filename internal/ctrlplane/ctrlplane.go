@@ -1,0 +1,125 @@
+// Package ctrlplane models the SDN southbound interface: FlowMod, GroupMod,
+// PacketOut and Barrier messages carried over a latency-modeled secure
+// channel between the controller and each switch. The paper assumes this
+// channel is secure (Sec III-D); we model only its delay and message count.
+package ctrlplane
+
+import (
+	"time"
+
+	"mic/internal/flowtable"
+	"mic/internal/netsim"
+	"mic/internal/packet"
+	"mic/internal/sim"
+)
+
+// Channel is the controller's handle to the fabric's switches.
+type Channel struct {
+	Eng *sim.Engine
+	Net *netsim.Network
+
+	// Latency is the one-way control-channel delay per message. The default
+	// approximates a Python SDN controller (Ryu) installing rules over TCP.
+	Latency time.Duration
+
+	// Counters for control-plane overhead experiments.
+	FlowMods   uint64
+	GroupMods  uint64
+	PacketOuts uint64
+	Deletes    uint64
+}
+
+// DefaultControlLatency approximates one Ryu FlowMod round over the
+// management network.
+const DefaultControlLatency = 500 * time.Microsecond
+
+// NewChannel returns a channel bound to the network with default latency.
+func NewChannel(net *netsim.Network) *Channel {
+	return &Channel{Eng: net.Eng, Net: net, Latency: DefaultControlLatency}
+}
+
+// FlowMod installs e on sw after the control latency, then invokes
+// onApplied (which may be nil) after the acknowledgement returns.
+func (c *Channel) FlowMod(sw *netsim.Switch, e *flowtable.Entry, onApplied func()) {
+	c.FlowMods++
+	c.Eng.After(c.Latency, func() {
+		sw.Table.Insert(e, c.Eng.Now())
+		if onApplied != nil {
+			c.Eng.After(c.Latency, onApplied)
+		}
+	})
+}
+
+// GroupMod installs g on sw after the control latency.
+func (c *Channel) GroupMod(sw *netsim.Switch, g *flowtable.Group, onApplied func()) {
+	c.GroupMods++
+	c.Eng.After(c.Latency, func() {
+		sw.Table.SetGroup(g)
+		if onApplied != nil {
+			c.Eng.After(c.Latency, onApplied)
+		}
+	})
+}
+
+// DeleteByCookie removes all entries with the cookie from sw; onDone (may
+// be nil) receives the removal count after the acknowledgement returns.
+func (c *Channel) DeleteByCookie(sw *netsim.Switch, cookie uint64, onDone func(removed int)) {
+	c.Deletes++
+	c.Eng.After(c.Latency, func() {
+		n := sw.Table.DeleteByCookie(cookie)
+		if onDone != nil {
+			c.Eng.After(c.Latency, func() { onDone(n) })
+		}
+	})
+}
+
+// PacketOut injects p at sw with the given actions after control latency.
+func (c *Channel) PacketOut(sw *netsim.Switch, actions []flowtable.Action, p *packet.Packet) {
+	c.PacketOuts++
+	c.Eng.After(c.Latency, func() {
+		sw.Execute(actions, -1, p)
+	})
+}
+
+// InstallAll sends one FlowMod per (switch, entry) pair concurrently and
+// invokes onAll once every acknowledgement has arrived — how the Mimic
+// Controller installs a whole m-flow path in a single round trip, keeping
+// route setup time flat in route length (Fig 7).
+func (c *Channel) InstallAll(mods []Mod, onAll func()) {
+	if len(mods) == 0 {
+		if onAll != nil {
+			c.Eng.After(0, onAll)
+		}
+		return
+	}
+	remaining := 0
+	done := func() {
+		remaining--
+		if remaining == 0 && onAll != nil {
+			onAll()
+		}
+	}
+	for _, m := range mods {
+		if m.Entry != nil {
+			remaining++
+		}
+		if m.Group != nil {
+			remaining++
+		}
+	}
+	for _, m := range mods {
+		if m.Group != nil {
+			c.GroupMod(m.Switch, m.Group, done)
+		}
+		if m.Entry != nil {
+			c.FlowMod(m.Switch, m.Entry, done)
+		}
+	}
+}
+
+// Mod is one pending table modification.
+type Mod struct {
+	Switch *netsim.Switch
+	Entry  *flowtable.Entry // may be nil
+	Group  *flowtable.Group // may be nil
+}

@@ -1,0 +1,287 @@
+package ctrlplane
+
+import (
+	"testing"
+	"time"
+
+	"mic/internal/addr"
+	"mic/internal/flowtable"
+	"mic/internal/netsim"
+	"mic/internal/packet"
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+func build(t *testing.T, g *topo.Graph) (*sim.Engine, *netsim.Network, *Channel) {
+	t.Helper()
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	return eng, net, NewChannel(net)
+}
+
+func TestFlowModAppliesAfterLatency(t *testing.T) {
+	g, _ := topo.Linear(1)
+	eng, net, ch := build(t, g)
+	sw := net.Switch(g.Switches()[0])
+	acked := sim.Time(-1)
+	ch.FlowMod(sw, &flowtable.Entry{Priority: 1}, func() { acked = eng.Now() })
+	if sw.Table.Len() != 0 {
+		t.Fatal("FlowMod applied synchronously")
+	}
+	eng.Run()
+	if sw.Table.Len() != 1 {
+		t.Fatal("FlowMod never applied")
+	}
+	if want := sim.Time(2 * ch.Latency); acked != want {
+		t.Fatalf("ack at %v, want %v (2x one-way latency)", acked, want)
+	}
+	if ch.FlowMods != 1 {
+		t.Fatalf("FlowMods counter = %d", ch.FlowMods)
+	}
+}
+
+func TestInstallAllWaitsForEveryAck(t *testing.T) {
+	g, _ := topo.Linear(3)
+	eng, net, ch := build(t, g)
+	var mods []Mod
+	for _, sid := range g.Switches() {
+		mods = append(mods, Mod{Switch: net.Switch(sid), Entry: &flowtable.Entry{Priority: 1}})
+	}
+	mods = append(mods, Mod{Switch: net.Switch(g.Switches()[0]), Group: &flowtable.Group{ID: 9}})
+	done := sim.Time(-1)
+	ch.InstallAll(mods, func() { done = eng.Now() })
+	eng.Run()
+	if done < 0 {
+		t.Fatal("InstallAll callback never fired")
+	}
+	// All mods go out concurrently: completion is one control RTT.
+	if want := sim.Time(2 * ch.Latency); done != want {
+		t.Fatalf("InstallAll completed at %v, want %v", done, want)
+	}
+	for _, sid := range g.Switches() {
+		if net.Switch(sid).Table.Len() != 1 {
+			t.Fatalf("switch %v missing entry", sid)
+		}
+	}
+	if _, ok := net.Switch(g.Switches()[0]).Table.Group(9); !ok {
+		t.Fatal("group not installed")
+	}
+}
+
+func TestInstallAllEmpty(t *testing.T) {
+	g, _ := topo.Linear(1)
+	eng, _, ch := build(t, g)
+	fired := false
+	ch.InstallAll(nil, func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("empty InstallAll never completed")
+	}
+}
+
+func TestDeleteByCookie(t *testing.T) {
+	g, _ := topo.Linear(1)
+	eng, net, ch := build(t, g)
+	sw := net.Switch(g.Switches()[0])
+	sw.Table.Insert(&flowtable.Entry{Priority: 1, Cookie: 7}, 0)
+	sw.Table.Insert(&flowtable.Entry{Priority: 2, Cookie: 7, Match: flowtable.Match{Mask: flowtable.MatchInPort, InPort: 1}}, 0)
+	removed := -1
+	ch.DeleteByCookie(sw, 7, func(n int) { removed = n })
+	eng.Run()
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	if sw.Table.Len() != 0 {
+		t.Fatal("entries survived delete")
+	}
+}
+
+func TestPacketOut(t *testing.T) {
+	g, _ := topo.Linear(1)
+	eng, net, ch := build(t, g)
+	sw := net.Switch(g.Switches()[0])
+	h2 := net.Host(g.Hosts()[1])
+	var got *packet.Packet
+	h2.SetHandler(func(_ int, p *packet.Packet) { got = p })
+	ch.PacketOut(sw, []flowtable.Action{flowtable.Output(g.PortTo(sw.ID, h2.ID))}, &packet.Packet{DstIP: h2.IP, TTL: 64})
+	eng.Run()
+	if got == nil {
+		t.Fatal("PacketOut not delivered")
+	}
+	if ch.PacketOuts != 1 {
+		t.Fatalf("PacketOuts = %d", ch.PacketOuts)
+	}
+}
+
+func TestProactiveRouterFatTree(t *testing.T) {
+	g, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	r := &ProactiveRouter{CFLabel: 1000}
+	if _, err := r.Install(net); err != nil {
+		t.Fatal(err)
+	}
+
+	hosts := g.Hosts()
+	// Every ordered host pair must deliver.
+	pairs := [][2]int{{0, 1}, {0, 3}, {0, 15}, {7, 8}, {15, 0}, {4, 12}}
+	for _, pr := range pairs {
+		src, dst := net.Host(hosts[pr[0]]), net.Host(hosts[pr[1]])
+		var got *packet.Packet
+		dst.SetHandler(func(_ int, p *packet.Packet) { got = p })
+		src.Send(0, &packet.Packet{
+			SrcMAC: src.MAC, SrcIP: src.IP, DstIP: dst.IP,
+			Proto: packet.ProtoTCP, TTL: 64, Payload: []byte("cf"),
+		})
+		eng.Run()
+		if got == nil {
+			t.Fatalf("pair %v undelivered", pr)
+		}
+		if len(got.MPLS) != 0 {
+			t.Fatalf("pair %v delivered with residual MPLS %v", pr, got.MPLS)
+		}
+		if got.DstMAC != dst.MAC {
+			t.Fatalf("pair %v delivered with wrong MAC", pr)
+		}
+	}
+}
+
+func TestProactiveRouterTagsInterSwitchTraffic(t *testing.T) {
+	g, _ := topo.FatTree(4)
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	r := &ProactiveRouter{CFLabel: 1000}
+	if _, err := r.Install(net); err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	src, dst := net.Host(hosts[0]), net.Host(hosts[15])
+	dst.SetHandler(func(_ int, p *packet.Packet) {})
+
+	// Tap a core switch: every transit packet must carry the CF label.
+	sawTagged := false
+	for _, sid := range g.Switches() {
+		if g.Node(sid).Name == "core1" {
+			net.AddTap(sid, func(ev netsim.TapEvent) {
+				if l, ok := ev.Pkt.TopMPLS(); ok && l == 1000 {
+					sawTagged = true
+				} else {
+					t.Errorf("untagged transit packet at core: %v", ev.Pkt)
+				}
+			})
+		}
+	}
+	for i := 0; i < 4; i++ {
+		src.Send(0, &packet.Packet{SrcIP: src.IP, DstIP: dst.IP, Proto: packet.ProtoTCP, TTL: 64})
+	}
+	eng.Run()
+	if !sawTagged {
+		t.Skip("flow did not transit core1 (ECMP chose another core); routing still verified elsewhere")
+	}
+}
+
+func TestProactiveRouterSameEdgeNoLabel(t *testing.T) {
+	g, _ := topo.FatTree(4)
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	r := &ProactiveRouter{CFLabel: 1000}
+	if _, err := r.Install(net); err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts() // h1 and h2 share edge1_1
+	src, dst := net.Host(hosts[0]), net.Host(hosts[1])
+	var got *packet.Packet
+	dst.SetHandler(func(_ int, p *packet.Packet) { got = p })
+	src.Send(0, &packet.Packet{SrcIP: src.IP, DstIP: dst.IP, Proto: packet.ProtoTCP, TTL: 64})
+	eng.Run()
+	if got == nil {
+		t.Fatal("undelivered")
+	}
+	if len(got.MPLS) != 0 {
+		t.Fatalf("same-edge traffic was labeled: %v", got.MPLS)
+	}
+}
+
+func TestProactiveRouterLinear(t *testing.T) {
+	g, _ := topo.Linear(5)
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	r := &ProactiveRouter{CFLabel: 42}
+	n, err := r.Install(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no rules installed")
+	}
+	src, dst := net.Host(g.Hosts()[0]), net.Host(g.Hosts()[1])
+	var got *packet.Packet
+	dst.SetHandler(func(_ int, p *packet.Packet) { got = p })
+	src.Send(0, &packet.Packet{SrcIP: src.IP, DstIP: dst.IP, Proto: packet.ProtoTCP, TTL: 64, Payload: []byte("abc")})
+	eng.Run()
+	if got == nil || string(got.Payload) != "abc" {
+		t.Fatalf("delivery failed: %v", got)
+	}
+}
+
+func TestChannelLatencyConfigurable(t *testing.T) {
+	g, _ := topo.Linear(1)
+	eng, net, ch := build(t, g)
+	ch.Latency = 2 * time.Millisecond
+	sw := net.Switch(g.Switches()[0])
+	var at sim.Time
+	ch.FlowMod(sw, &flowtable.Entry{Priority: 1}, func() { at = eng.Now() })
+	eng.Run()
+	if at != sim.Time(4*time.Millisecond) {
+		t.Fatalf("ack at %v, want 4ms", at)
+	}
+}
+
+func TestRouterRulePrioritiesBelowMFlow(t *testing.T) {
+	if PriorityCommonUntagged >= PriorityMFlow || PriorityCommonTagged >= PriorityMFlow {
+		t.Fatal("m-flow rules must out-rank common routing")
+	}
+	_ = addr.Label(0)
+}
+
+// TestECMPSpreadsDestinations: the proactive router must not funnel every
+// destination through the same uplink — ECMP hashing should use several
+// equal-cost ports.
+func TestECMPSpreadsDestinations(t *testing.T) {
+	g, _ := topo.FatTree(4)
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	r := &ProactiveRouter{CFLabel: 5}
+	if _, err := r.Install(net); err != nil {
+		t.Fatal(err)
+	}
+	// At edge1_1, destinations in other pods can leave via either agg.
+	// Collect the chosen uplink per remote destination from the installed
+	// untagged rules.
+	var edge *netsim.Switch
+	for _, sw := range net.Switches() {
+		if sw.Name == "edge1_1" {
+			edge = sw
+		}
+	}
+	ports := map[int]int{}
+	for _, e := range edge.Table.Entries() {
+		if e.Cookie != CookieCommon {
+			continue
+		}
+		for _, a := range e.Actions {
+			if out, ok := a.(flowtable.Output); ok {
+				peer := g.Node(edge.ID).Ports[int(out)].Peer
+				if g.Node(peer).Kind == topo.KindSwitch {
+					ports[int(out)]++
+				}
+			}
+		}
+	}
+	if len(ports) < 2 {
+		t.Fatalf("all destinations use one uplink: %v", ports)
+	}
+}

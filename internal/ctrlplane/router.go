@@ -1,0 +1,154 @@
+package ctrlplane
+
+import (
+	"fmt"
+
+	"mic/internal/addr"
+	"mic/internal/flowtable"
+	"mic/internal/netsim"
+	"mic/internal/topo"
+)
+
+// Rule priorities used by the proactive router. The Mimic Controller
+// installs its per-m-flow rules above these, so m-flows always take
+// precedence over destination-based common routing.
+const (
+	PriorityCommonUntagged = 100
+	PriorityCommonTagged   = 50
+	// PriorityMFlow is exported for the MC.
+	PriorityMFlow = 1000
+)
+
+// CookieCommon tags rules owned by the proactive router.
+const CookieCommon = 1
+
+// ProactiveRouter pre-installs destination-based shortest-path routing for
+// all hosts, tagging inter-switch traffic with a common-flow (CF) MPLS
+// label as the paper prescribes: "we divide the MPLS label into two
+// disjoint categories, one used to mark the common flows (CF), and the
+// other used to mark the m-flows (MF)."
+//
+// Rule scheme per switch s and host h:
+//   - untagged packet to h arriving at s (only possible at h's or the
+//     sender's edge switch): push CF label and forward — or, if h is
+//     attached to s, forward directly without a label;
+//   - CF-tagged packet to h: forward toward h, popping the label on the
+//     final switch.
+type ProactiveRouter struct {
+	CFLabel addr.Label
+}
+
+// Install computes next hops by BFS per destination host and installs the
+// rules synchronously (before the simulation starts, as a proactive
+// controller would). It returns the number of entries installed.
+func (r *ProactiveRouter) Install(net *netsim.Network) (int, error) {
+	g := net.Graph
+	installed := 0
+	for _, hid := range g.Hosts() {
+		h := g.Node(hid)
+		next, err := nextHops(g, hid)
+		if err != nil {
+			return installed, err
+		}
+		for _, sid := range g.Switches() {
+			sw := net.Switch(sid)
+			out, ok := next[sid]
+			if !ok {
+				continue // unreachable from this switch
+			}
+			attached := g.Node(sid).Ports[out].Peer == hid
+			if attached {
+				sw.Table.Insert(&flowtable.Entry{
+					Priority: PriorityCommonUntagged,
+					Cookie:   CookieCommon,
+					Match:    flowtable.Match{Mask: flowtable.MatchNoMPLS | flowtable.MatchIPDst, IPDst: h.IP},
+					Actions:  []flowtable.Action{flowtable.SetEthDst(h.MAC), flowtable.Output(out)},
+				}, net.Eng.Now())
+				sw.Table.Insert(&flowtable.Entry{
+					Priority: PriorityCommonTagged,
+					Cookie:   CookieCommon,
+					Match:    flowtable.Match{Mask: flowtable.MatchMPLS | flowtable.MatchIPDst, MPLS: r.CFLabel, IPDst: h.IP},
+					Actions:  []flowtable.Action{flowtable.PopMPLS{}, flowtable.SetEthDst(h.MAC), flowtable.Output(out)},
+				}, net.Eng.Now())
+			} else {
+				sw.Table.Insert(&flowtable.Entry{
+					Priority: PriorityCommonUntagged,
+					Cookie:   CookieCommon,
+					Match:    flowtable.Match{Mask: flowtable.MatchNoMPLS | flowtable.MatchIPDst, IPDst: h.IP},
+					Actions:  []flowtable.Action{flowtable.PushMPLS(r.CFLabel), flowtable.Output(out)},
+				}, net.Eng.Now())
+				sw.Table.Insert(&flowtable.Entry{
+					Priority: PriorityCommonTagged,
+					Cookie:   CookieCommon,
+					Match:    flowtable.Match{Mask: flowtable.MatchMPLS | flowtable.MatchIPDst, MPLS: r.CFLabel, IPDst: h.IP},
+					Actions:  []flowtable.Action{flowtable.Output(out)},
+				}, net.Eng.Now())
+			}
+			installed += 2
+		}
+	}
+	return installed, nil
+}
+
+// nextHops returns, for each switch that can reach dst, the egress port on
+// the shortest path toward dst.
+func nextHops(g *topo.Graph, dst topo.NodeID) (map[topo.NodeID]int, error) {
+	// BFS from dst over the switch fabric (hosts do not forward).
+	dist := make(map[topo.NodeID]int)
+	dist[dst] = 0
+	queue := []topo.NodeID{dst}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if g.Node(u).Kind == topo.KindHost && u != dst {
+			continue
+		}
+		for _, p := range g.Node(u).Ports {
+			if _, seen := dist[p.Peer]; !seen {
+				dist[p.Peer] = dist[u] + 1
+				queue = append(queue, p.Peer)
+			}
+		}
+	}
+	next := make(map[topo.NodeID]int)
+	for _, sid := range g.Switches() {
+		d, ok := dist[sid]
+		if !ok {
+			continue
+		}
+		var candidates []int
+		for port, p := range g.Node(sid).Ports {
+			if pd, ok := dist[p.Peer]; ok && pd == d-1 {
+				if g.Node(p.Peer).Kind == topo.KindHost && p.Peer != dst {
+					continue
+				}
+				candidates = append(candidates, port)
+			}
+		}
+		if len(candidates) == 0 {
+			if d > 0 {
+				return nil, fmt.Errorf("ctrlplane: no next hop from %s toward %s", g.Node(sid).Name, g.Node(dst).Name)
+			}
+			continue
+		}
+		// ECMP: spread destinations across equal-cost ports with a
+		// deterministic hash, as production fabrics do. Without this, every
+		// flow toward a pod would pile onto one core link and the TCP
+		// baseline would bottleneck artificially.
+		next[sid] = candidates[ecmpHash(uint32(sid), uint32(dst))%uint32(len(candidates))]
+	}
+	return next, nil
+}
+
+// ecmpHash mixes (switch, destination) into a port selector.
+func ecmpHash(a, b uint32) uint32 {
+	h := uint32(2166136261)
+	for _, v := range [...]uint32{a, b} {
+		h ^= v
+		h *= 16777619
+	}
+	h ^= h >> 13
+	h *= 0x5bd1e995
+	h ^= h >> 15
+	return h
+}

@@ -1,0 +1,121 @@
+package flowtable
+
+import (
+	"fmt"
+
+	"mic/internal/addr"
+	"mic/internal/packet"
+)
+
+// Action is one step of an OpenFlow action list. Set-field and MPLS actions
+// mutate the packet; Output and OutputGroup do not mutate but tell the
+// switch where to forward the packet as rewritten so far.
+type Action interface {
+	// Apply mutates p for set-field/MPLS actions; it is a no-op for
+	// Output/OutputGroup, which the switch interprets itself.
+	Apply(p *packet.Packet)
+	String() string
+}
+
+// SetEthSrc rewrites the source MAC.
+type SetEthSrc addr.MAC
+
+func (a SetEthSrc) Apply(p *packet.Packet) { p.SrcMAC = addr.MAC(a) }
+func (a SetEthSrc) String() string         { return fmt.Sprintf("set_eth_src:%v", addr.MAC(a)) }
+
+// SetEthDst rewrites the destination MAC.
+type SetEthDst addr.MAC
+
+func (a SetEthDst) Apply(p *packet.Packet) { p.DstMAC = addr.MAC(a) }
+func (a SetEthDst) String() string         { return fmt.Sprintf("set_eth_dst:%v", addr.MAC(a)) }
+
+// SetIPSrc rewrites the source IPv4 address.
+type SetIPSrc addr.IP
+
+func (a SetIPSrc) Apply(p *packet.Packet) { p.SrcIP = addr.IP(a) }
+func (a SetIPSrc) String() string         { return fmt.Sprintf("set_ip_src:%v", addr.IP(a)) }
+
+// SetIPDst rewrites the destination IPv4 address.
+type SetIPDst addr.IP
+
+func (a SetIPDst) Apply(p *packet.Packet) { p.DstIP = addr.IP(a) }
+func (a SetIPDst) String() string         { return fmt.Sprintf("set_ip_dst:%v", addr.IP(a)) }
+
+// SetTPSrc rewrites the transport source port.
+type SetTPSrc uint16
+
+func (a SetTPSrc) Apply(p *packet.Packet) { p.SrcPort = uint16(a) }
+func (a SetTPSrc) String() string         { return fmt.Sprintf("set_tp_src:%d", uint16(a)) }
+
+// SetTPDst rewrites the transport destination port.
+type SetTPDst uint16
+
+func (a SetTPDst) Apply(p *packet.Packet) { p.DstPort = uint16(a) }
+func (a SetTPDst) String() string         { return fmt.Sprintf("set_tp_dst:%d", uint16(a)) }
+
+// PushMPLS pushes a label onto the stack.
+type PushMPLS addr.Label
+
+func (a PushMPLS) Apply(p *packet.Packet) { p.PushMPLS(addr.Label(a)) }
+func (a PushMPLS) String() string         { return fmt.Sprintf("push_mpls:%v", addr.Label(a)) }
+
+// PopMPLS pops the outermost label.
+type PopMPLS struct{}
+
+func (PopMPLS) Apply(p *packet.Packet) { p.PopMPLS() }
+func (PopMPLS) String() string         { return "pop_mpls" }
+
+// SetMPLS rewrites the outermost label in place (push if absent, matching
+// permissive software-switch behaviour).
+type SetMPLS addr.Label
+
+func (a SetMPLS) Apply(p *packet.Packet) {
+	if len(p.MPLS) == 0 {
+		p.PushMPLS(addr.Label(a))
+		return
+	}
+	p.MPLS[0] = addr.Label(a)
+}
+func (a SetMPLS) String() string { return fmt.Sprintf("set_mpls:%v", addr.Label(a)) }
+
+// Output forwards the packet (as rewritten so far) out a port.
+type Output int
+
+func (Output) Apply(*packet.Packet) {}
+func (a Output) String() string     { return fmt.Sprintf("output:%d", int(a)) }
+
+// GroupID names a group table entry.
+type GroupID uint32
+
+// OutputGroup hands the packet to a group (type ALL): every bucket receives
+// its own clone, applies its actions, and forwards. This is the OpenFlow
+// mechanism behind MIC's partial multicast.
+type OutputGroup GroupID
+
+func (OutputGroup) Apply(*packet.Packet) {}
+func (a OutputGroup) String() string     { return fmt.Sprintf("group:%d", uint32(a)) }
+
+// Bucket is one replication branch of an ALL group.
+type Bucket struct {
+	Actions []Action
+}
+
+// Group is an OpenFlow group-table entry of type ALL.
+type Group struct {
+	ID      GroupID
+	Buckets []Bucket
+}
+
+// MutationCount reports how many packet-mutating actions the list contains;
+// the data plane charges per-action CPU cost using it.
+func MutationCount(actions []Action) int {
+	n := 0
+	for _, a := range actions {
+		switch a.(type) {
+		case Output, OutputGroup:
+		default:
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,171 @@
+package flowtable
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mic/internal/packet"
+	"mic/internal/sim"
+)
+
+// Entry is one installed flow rule.
+type Entry struct {
+	Priority int
+	Match    Match
+	Actions  []Action
+
+	// Cookie tags the owner (the MC uses one cookie per m-flow) so related
+	// rules can be deleted together.
+	Cookie uint64
+
+	// IdleTimeout evicts the entry when unused for that long; HardTimeout
+	// evicts it unconditionally after installation. Zero disables.
+	IdleTimeout time.Duration
+	HardTimeout time.Duration
+
+	// Counters.
+	Packets   uint64
+	Bytes     uint64
+	Installed sim.Time
+	LastUsed  sim.Time
+}
+
+// Table is a single-table OpenFlow pipeline plus a group table.
+type Table struct {
+	entries []*Entry // sorted by descending priority, then insertion order
+	groups  map[GroupID]*Group
+	seq     uint64
+	order   map[*Entry]uint64
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{groups: make(map[GroupID]*Group), order: make(map[*Entry]uint64)}
+}
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Insert installs an entry at time now. Installing an entry whose match and
+// priority exactly equal an existing entry's replaces it (OpenFlow
+// semantics).
+func (t *Table) Insert(e *Entry, now sim.Time) {
+	e.Installed = now
+	e.LastUsed = now
+	for i, old := range t.entries {
+		if old.Priority == e.Priority && old.Match.Equal(e.Match) {
+			delete(t.order, old)
+			t.seq++
+			t.order[e] = t.seq
+			t.entries[i] = e
+			return
+		}
+	}
+	t.seq++
+	t.order[e] = t.seq
+	t.entries = append(t.entries, e)
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		if t.entries[i].Priority != t.entries[j].Priority {
+			return t.entries[i].Priority > t.entries[j].Priority
+		}
+		return t.order[t.entries[i]] < t.order[t.entries[j]]
+	})
+}
+
+// Lookup returns the highest-priority entry covering the packet, updating
+// its counters, or nil on a table miss.
+func (t *Table) Lookup(p *packet.Packet, inPort int, now sim.Time) *Entry {
+	for _, e := range t.entries {
+		if e.Match.Covers(p, inPort) {
+			e.Packets++
+			e.Bytes += uint64(p.WireLen())
+			e.LastUsed = now
+			return e
+		}
+	}
+	return nil
+}
+
+// DeleteByCookie removes all entries with the given cookie and returns how
+// many were removed.
+func (t *Table) DeleteByCookie(cookie uint64) int {
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if e.Cookie == cookie {
+			removed++
+			delete(t.order, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(t.entries); i++ {
+		t.entries[i] = nil
+	}
+	t.entries = kept
+	return removed
+}
+
+// Expire evicts entries whose idle or hard timeout has elapsed by now, and
+// returns the evicted entries.
+func (t *Table) Expire(now sim.Time) []*Entry {
+	var evicted []*Entry
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		idle := e.IdleTimeout > 0 && now.Sub(e.LastUsed) >= e.IdleTimeout
+		hard := e.HardTimeout > 0 && now.Sub(e.Installed) >= e.HardTimeout
+		if idle || hard {
+			evicted = append(evicted, e)
+			delete(t.order, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(t.entries); i++ {
+		t.entries[i] = nil
+	}
+	t.entries = kept
+	return evicted
+}
+
+// Conflicts returns entries whose match equals m at the same priority —
+// the ambiguity MIC's Collision Avoidance Mechanism must rule out.
+func (t *Table) Conflicts(m Match, priority int) []*Entry {
+	var out []*Entry
+	for _, e := range t.entries {
+		if e.Priority == priority && e.Match.Equal(m) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Entries returns the installed entries in match order (descending
+// priority). The returned slice is shared; callers must not modify it.
+func (t *Table) Entries() []*Entry { return t.entries }
+
+// SetGroup installs or replaces a group.
+func (t *Table) SetGroup(g *Group) { t.groups[g.ID] = g }
+
+// Group looks up a group by ID.
+func (t *Table) Group(id GroupID) (*Group, bool) {
+	g, ok := t.groups[id]
+	return g, ok
+}
+
+// DeleteGroup removes a group.
+func (t *Table) DeleteGroup(id GroupID) { delete(t.groups, id) }
+
+// Dump renders the table for debugging.
+func (t *Table) Dump() string {
+	s := ""
+	for _, e := range t.entries {
+		s += fmt.Sprintf("prio=%d cookie=%d %v ->", e.Priority, e.Cookie, e.Match)
+		for _, a := range e.Actions {
+			s += " " + a.String()
+		}
+		s += fmt.Sprintf(" (pkts=%d)\n", e.Packets)
+	}
+	return s
+}

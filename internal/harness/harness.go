@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"mic/internal/metrics"
+)
+
+// RunConfig tunes an experiment run.
+type RunConfig struct {
+	Seed   uint64 // base seed; trial i uses Seed + i
+	Trials int    // independent repetitions per data point
+	Quick  bool   // smaller transfers, fewer points (for CI)
+}
+
+// DefaultRunConfig mirrors the paper's repetition style.
+func DefaultRunConfig() RunConfig { return RunConfig{Seed: 1, Trials: 3} }
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Trials == 0 {
+		if c.Quick {
+			c.Trials = 1
+		} else {
+			c.Trials = 3
+		}
+	}
+	return c
+}
+
+// Result is one experiment's regenerated table plus commentary comparing it
+// to the paper's reported shape.
+type Result struct {
+	ID    string
+	Title string
+	Table *metrics.Table
+	Notes []string
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	b.WriteString(r.Table.String())
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment regenerates one figure or table.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg RunConfig) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have: %s)", id, strings.Join(ids, ", "))
+}
+
+// RunTrials evaluates fn for `trials` independent seeds in parallel — one
+// simulation engine per goroutine, results joined through a channel (no
+// shared mutable state). It returns the sample of successful trials and
+// the first error, if any.
+func RunTrials(trials int, baseSeed uint64, fn func(seed uint64) (float64, error)) (*metrics.Sample, error) {
+	type outcome struct {
+		v   float64
+		err error
+	}
+	results := make(chan outcome, trials)
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for i := 0; i < trials; i++ {
+		seed := baseSeed + uint64(i)*1000003
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			v, err := fn(seed)
+			results <- outcome{v, err}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	var sample metrics.Sample
+	var firstErr error
+	for o := range results {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		sample.Add(o.v)
+	}
+	if sample.N() == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return &sample, firstErr
+}

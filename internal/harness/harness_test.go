@@ -1,0 +1,264 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var quick = RunConfig{Seed: 7, Trials: 1, Quick: true}
+
+func TestSetupTimeAllSchemes(t *testing.T) {
+	for _, s := range AllSchemes() {
+		d, err := SetupTime(s, 3, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if d <= 0 || d > time.Second {
+			t.Fatalf("%v setup = %v, implausible", s, d)
+		}
+	}
+}
+
+func TestSetupTimeShapeMatchesFig7(t *testing.T) {
+	tcp, _ := SetupTime(SchemeTCP, 3, 1)
+	ssl, _ := SetupTime(SchemeSSL, 3, 1)
+	micS, _ := SetupTime(SchemeMICTCP, 3, 1)
+	tor1, _ := SetupTime(SchemeTor, 1, 1)
+	tor5, _ := SetupTime(SchemeTor, 5, 1)
+	mic1, _ := SetupTime(SchemeMICTCP, 1, 1)
+	mic5, _ := SetupTime(SchemeMICTCP, 5, 1)
+
+	if !(tcp < ssl) {
+		t.Errorf("SSL setup (%v) should exceed TCP (%v)", ssl, tcp)
+	}
+	if !(tcp < micS) {
+		t.Errorf("MIC setup (%v) should exceed TCP (%v)", micS, tcp)
+	}
+	if !(tor5 > tor1*2) {
+		t.Errorf("Tor setup should grow strongly with route length: 1->%v 5->%v", tor1, tor5)
+	}
+	if mic5 > mic1*3/2 {
+		t.Errorf("MIC setup should stay nearly flat: 1->%v 5->%v", mic1, mic5)
+	}
+	if tor5 < micS {
+		t.Errorf("Tor (%v) should be slower to set up than MIC (%v)", tor5, micS)
+	}
+}
+
+func TestLatencyShapeMatchesFig8(t *testing.T) {
+	lat := map[Scheme]time.Duration{}
+	for _, s := range AllSchemes() {
+		d, err := PingPongLatency(s, 3, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		lat[s] = d
+	}
+	if r := float64(lat[SchemeTor]) / float64(lat[SchemeTCP]); r < 10 {
+		t.Errorf("Tor/TCP latency ratio = %.1f, want >> 1 (paper: ~62x)", r)
+	}
+	if r := float64(lat[SchemeMICTCP]) / float64(lat[SchemeTCP]); r > 1.25 {
+		t.Errorf("MIC-TCP/TCP latency ratio = %.2f, want ~1", r)
+	}
+	if r := float64(lat[SchemeMICSSL]) / float64(lat[SchemeSSL]); r > 1.25 {
+		t.Errorf("MIC-SSL/SSL latency ratio = %.2f, want ~1", r)
+	}
+}
+
+func TestThroughputShapeMatchesFig9a(t *testing.T) {
+	const size = 2 << 20
+	tcp, err := ThroughputOneFlow(SchemeTCP, 3, size, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	micT, err := ThroughputOneFlow(SchemeMICTCP, 3, size, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor, err := ThroughputOneFlow(SchemeTor, 3, size, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if micT.Mbps < tcp.Mbps*0.95 {
+		t.Errorf("MIC-TCP (%.0f Mbps) should be within ~1%% of TCP (%.0f)", micT.Mbps, tcp.Mbps)
+	}
+	if tor.Mbps > tcp.Mbps*0.5 {
+		t.Errorf("Tor (%.0f Mbps) should be far below TCP (%.0f) (paper: ~80%% lower)", tor.Mbps, tcp.Mbps)
+	}
+	if tor.CPUTotal <= micT.CPUTotal {
+		t.Errorf("Tor CPU (%v) should exceed MIC CPU (%v)", tor.CPUTotal, micT.CPUTotal)
+	}
+}
+
+func TestMultiFlowShapeMatchesFig9b(t *testing.T) {
+	const size = 1 << 20
+	tor1, err := MultiFlowAvgThroughput(SchemeTor, 1, size, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor8, err := MultiFlowAvgThroughput(SchemeTor, 8, size, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mic1, err := MultiFlowAvgThroughput(SchemeMICTCP, 1, size, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mic8, err := MultiFlowAvgThroughput(SchemeMICTCP, 8, size, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor8 > tor1/2 {
+		t.Errorf("Tor per-flow throughput should collapse with 8 flows: 1->%.0f 8->%.0f Mbps", tor1, tor8)
+	}
+	if mic8 < mic1*0.6 {
+		t.Errorf("MIC per-flow throughput should stay roughly flat: 1->%.0f 8->%.0f Mbps", mic1, mic8)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"7", "8", "9a", "9b", "9c", "a1", "a2", "a3", "a4", "s1", "s2", "s3", "s4", "s5", "s6", "sc"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Fatalf("registry[%d] = %q, want %q", i, e.ID, want[i])
+		}
+	}
+	if _, err := Find("9a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunTrialsParallel(t *testing.T) {
+	sample, err := RunTrials(8, 100, func(seed uint64) (float64, error) {
+		return float64(seed % 10), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.N() != 8 {
+		t.Fatalf("N = %d", sample.N())
+	}
+}
+
+func TestExperimentS1(t *testing.T) {
+	e, _ := Find("s1")
+	res, err := e.Run(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	if !strings.Contains(out, "fanout") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestExperimentS3(t *testing.T) {
+	e, _ := Find("s3")
+	res, err := e.Run(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "MN 1") {
+		t.Fatalf("missing MN rows:\n%s", res.String())
+	}
+	// linked_pairs column must be all zeros.
+	if strings.Contains(res.Table.String(), "true  true") {
+		t.Fatalf("some switch exposed both endpoints:\n%s", res.Table)
+	}
+}
+
+func TestExperimentA1(t *testing.T) {
+	e, _ := Find("a1")
+	res, err := e.Run(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table.String()
+	if !strings.Contains(out, "1.00") {
+		t.Fatalf("global hash should recover 100%%:\n%s", out)
+	}
+}
+
+func TestExperimentA3(t *testing.T) {
+	e, _ := Find("a3")
+	res, err := e.Run(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table.String()
+	if !strings.Contains(out, "1.00") || !strings.Contains(out, "20.00") {
+		t.Fatalf("reuse ablation rows unexpected:\n%s", out)
+	}
+}
+
+func TestExperimentFig8Quick(t *testing.T) {
+	e, _ := Find("8")
+	res, err := e.Run(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table.String(), "Tor") {
+		t.Fatalf("missing scheme rows:\n%s", res.Table)
+	}
+}
+
+func TestExperimentScQuick(t *testing.T) {
+	e, _ := Find("sc")
+	res, err := e.Run(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table.String()
+	if !strings.Contains(out, "fattree-8") {
+		t.Fatalf("missing k=8 rows:\n%s", out)
+	}
+}
+
+func TestExperimentS4Quick(t *testing.T) {
+	e, _ := Find("s4")
+	res, err := e.Run(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table.String(), "0.10") {
+		t.Fatalf("missing fraction rows:\n%s", res.Table)
+	}
+}
+
+func TestExperimentA4Quick(t *testing.T) {
+	e, _ := Find("a4")
+	if _, err := e.Run(quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminism: a (seed, config) pair must reproduce measurements
+// bit-for-bit — the property that makes the whole evaluation replayable.
+func TestDeterminism(t *testing.T) {
+	a, err := ThroughputOneFlow(SchemeMICTCP, 3, 1<<20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ThroughputOneFlow(SchemeMICTCP, 3, 1<<20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mbps != b.Mbps || a.Wall != b.Wall || a.CPUTotal != b.CPUTotal {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c, err := ThroughputOneFlow(SchemeMICTCP, 3, 1<<20, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Wall == c.Wall && a.Mbps == c.Mbps {
+		t.Log("different seeds produced identical results (possible but suspicious)")
+	}
+}

@@ -1,0 +1,267 @@
+// Package metrics provides the measurement plumbing for experiments:
+// scalar sample summaries, throughput/latency recorders, virtual-CPU cost
+// accounting (the substitute for the paper's physical CPU-usage probes), and
+// fixed-width table rendering for harness output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample accumulates float64 observations.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Min returns the smallest observation, or NaN when empty.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Stddev returns the population standard deviation, or NaN when empty.
+func (s *Sample) Stddev() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	mean := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank on a
+// sorted copy, or NaN when empty.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), s.xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Median is Percentile(50).
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// CPUAccount tallies virtual CPU time charged by simulated components,
+// bucketed by category (e.g. "crypto", "stack", "relay", "switch"). It is
+// the substitute for the paper's CPU-usage measurements in Fig 9(c): every
+// operation in the simulator charges a calibrated cost here.
+type CPUAccount struct {
+	byCategory map[string]time.Duration
+}
+
+// NewCPUAccount returns an empty account.
+func NewCPUAccount() *CPUAccount {
+	return &CPUAccount{byCategory: make(map[string]time.Duration)}
+}
+
+// Charge adds d of virtual CPU time to the category.
+func (a *CPUAccount) Charge(category string, d time.Duration) {
+	if d < 0 {
+		panic("metrics: negative CPU charge")
+	}
+	a.byCategory[category] += d
+}
+
+// Total returns the sum across categories.
+func (a *CPUAccount) Total() time.Duration {
+	var t time.Duration
+	for _, d := range a.byCategory {
+		t += d
+	}
+	return t
+}
+
+// Category returns the time charged to one category.
+func (a *CPUAccount) Category(c string) time.Duration { return a.byCategory[c] }
+
+// Categories returns the category names in sorted order.
+func (a *CPUAccount) Categories() []string {
+	out := make([]string, 0, len(a.byCategory))
+	for c := range a.byCategory {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge adds all of b's charges into a.
+func (a *CPUAccount) Merge(b *CPUAccount) {
+	for c, d := range b.byCategory {
+		a.byCategory[c] += d
+	}
+}
+
+// Utilization returns total CPU time over wall (virtual) time, as a
+// fraction. A value of 2.0 means two cores' worth of work.
+func (a *CPUAccount) Utilization(wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(a.Total()) / float64(wall)
+}
+
+// Mbps converts a byte count moved over a duration to megabits per second.
+func Mbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / d.Seconds() / 1e6
+}
+
+// Table renders aligned fixed-width text tables for harness output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v != 0 && math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.2e", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// CSV renders the table as comma-separated values with a header row.
+// Cells containing commas or quotes are quoted per RFC 4180.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.header)
+	for _, r := range t.rows {
+		writeCSVRow(&b, r)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

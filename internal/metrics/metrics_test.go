@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{4, 1, 3, 2, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 3 {
+		t.Errorf("Median = %v", s.Median())
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if sd := s.Stddev(); math.Abs(sd-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("Stddev = %v", sd)
+	}
+}
+
+func TestSampleEmptyIsNaN(t *testing.T) {
+	var s Sample
+	for name, f := range map[string]func() float64{
+		"Mean": s.Mean, "Min": s.Min, "Max": s.Max, "Median": s.Median, "Stddev": s.Stddev,
+	} {
+		if !math.IsNaN(f()) {
+			t.Errorf("%s of empty sample is not NaN", name)
+		}
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	err := quick.Check(func(xs []float64, p8 uint8) bool {
+		var s Sample
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				s.Add(x)
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		p := float64(p8) / 255 * 100
+		v := s.Percentile(p)
+		return v >= s.Min() && v <= s.Max()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUAccount(t *testing.T) {
+	a := NewCPUAccount()
+	a.Charge("crypto", 10*time.Millisecond)
+	a.Charge("stack", 5*time.Millisecond)
+	a.Charge("crypto", 10*time.Millisecond)
+	if a.Total() != 25*time.Millisecond {
+		t.Fatalf("Total = %v", a.Total())
+	}
+	if a.Category("crypto") != 20*time.Millisecond {
+		t.Fatalf("crypto = %v", a.Category("crypto"))
+	}
+	cats := a.Categories()
+	if len(cats) != 2 || cats[0] != "crypto" || cats[1] != "stack" {
+		t.Fatalf("Categories = %v", cats)
+	}
+	if u := a.Utilization(100 * time.Millisecond); u != 0.25 {
+		t.Fatalf("Utilization = %v", u)
+	}
+}
+
+func TestCPUAccountMerge(t *testing.T) {
+	a, b := NewCPUAccount(), NewCPUAccount()
+	a.Charge("x", time.Second)
+	b.Charge("x", time.Second)
+	b.Charge("y", 2*time.Second)
+	a.Merge(b)
+	if a.Category("x") != 2*time.Second || a.Category("y") != 2*time.Second {
+		t.Fatalf("after merge: %v %v", a.Category("x"), a.Category("y"))
+	}
+}
+
+func TestCPUAccountNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge did not panic")
+		}
+	}()
+	NewCPUAccount().Charge("x", -1)
+}
+
+func TestMbps(t *testing.T) {
+	if got := Mbps(125_000_000, time.Second); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("Mbps = %v, want 1000", got)
+	}
+	if Mbps(100, 0) != 0 {
+		t.Fatal("Mbps with zero duration should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("scheme", "mbps")
+	tb.AddRow("TCP", 941.23456)
+	tb.AddRow("MIC-TCP", 935.0)
+	out := tb.String()
+	if !strings.Contains(out, "scheme") || !strings.Contains(out, "941.23") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	// All rows align to the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("misaligned header/separator:\n%s", out)
+	}
+}
+
+func TestTableNaNRendersDash(t *testing.T) {
+	tb := NewTable("v")
+	tb.AddRow(math.NaN())
+	if !strings.Contains(tb.String(), "-") {
+		t.Fatal("NaN did not render as dash")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x,y", 1.5)
+	tb.AddRow(`quote"me`, 2.0)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",1.50\n\"quote\"\"me\",2.00\n"
+	if csv != want {
+		t.Fatalf("CSV =\n%q\nwant\n%q", csv, want)
+	}
+}

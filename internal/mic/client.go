@@ -1,0 +1,291 @@
+package mic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"mic/internal/sim"
+	"mic/internal/transport"
+)
+
+// Client is the initiator-side MIC library: a socket-like API that hides
+// the channel request, m-flow connections and slicing. One Client serves
+// one host. Channels are cached per target and reused across Dials, the
+// paper's channel-reuse optimization for massive short communications
+// (Sec IV-B1).
+type Client struct {
+	Stack *transport.Stack
+	MC    *MC
+
+	// Secure selects SSL under the m-flows (MIC-SSL vs MIC-TCP).
+	Secure bool
+
+	// Opts are per-channel overrides (m-flow count, MN count, fanout).
+	Opts ChannelOptions
+
+	rng      *sim.RNG
+	channels map[string]*cachedChannel
+	pending  map[string][]func(*ChannelInfo, error)
+	notifier uint64 // generation counter; bumping cancels the running notifier
+}
+
+// cachedChannel tracks reuse for the idle notifier.
+type cachedChannel struct {
+	info     *ChannelInfo
+	lastUsed sim.Time
+}
+
+// NewClient builds a client for the host owning stack.
+func NewClient(stack *transport.Stack, mc *MC) *Client {
+	return &Client{
+		Stack:    stack,
+		MC:       mc,
+		rng:      sim.NewRNG(uint64(stack.Host.IP) ^ mc.Cfg.Seed ^ 0x5ac1e5),
+		channels: make(map[string]*cachedChannel),
+		pending:  make(map[string][]func(*ChannelInfo, error)),
+	}
+}
+
+// Dial opens an anonymous stream to target (hidden-service name or IP
+// string) on the given port. The callback fires when the stream is ready:
+// channel established (or reused) and all m-flow connections handshaken.
+func (c *Client) Dial(target string, port uint16, cb func(*Stream, error)) {
+	c.withChannel(target, func(info *ChannelInfo, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		c.openStream(info, port, cb)
+	})
+}
+
+// withChannel returns the cached channel for target or establishes one,
+// coalescing concurrent requests.
+func (c *Client) withChannel(target string, cb func(*ChannelInfo, error)) {
+	if cc, ok := c.channels[target]; ok {
+		cc.lastUsed = c.MC.Net.Eng.Now()
+		cb(cc.info, nil)
+		return
+	}
+	if waiters, inflight := c.pending[target]; inflight {
+		c.pending[target] = append(waiters, cb)
+		return
+	}
+	c.pending[target] = []func(*ChannelInfo, error){cb}
+	c.MC.EstablishChannel(c.Stack.Host.IP, target, c.Opts, func(info *ChannelInfo, err error) {
+		waiters := c.pending[target]
+		delete(c.pending, target)
+		if err == nil {
+			c.channels[target] = &cachedChannel{info: info, lastUsed: c.MC.Net.Eng.Now()}
+		}
+		for _, w := range waiters {
+			w(info, err)
+		}
+	})
+}
+
+// openStream dials one transport connection per m-flow, sends the hello on
+// each, and hands the assembled Stream to cb.
+func (c *Client) openStream(info *ChannelInfo, port uint16, cb func(*Stream, error)) {
+	n := len(info.Flows)
+	conns := make([]transport.ByteStream, n)
+	token := c.rng.Uint64()
+	remaining := n
+	failed := false
+	onConn := func(i int) func(transport.ByteStream, error) {
+		return func(bs transport.ByteStream, err error) {
+			if failed {
+				if bs != nil {
+					bs.Close()
+				}
+				return
+			}
+			if err != nil {
+				failed = true
+				for _, c := range conns {
+					if c != nil {
+						c.Close()
+					}
+				}
+				cb(nil, fmt.Errorf("mic: m-flow %d connect: %w", i, err))
+				return
+			}
+			conns[i] = bs
+			bs.Send(hello(token, uint8(i), uint8(n)))
+			remaining--
+			if remaining == 0 {
+				cb(newStream(conns, c.rng.Stream("slicer")), nil)
+			}
+		}
+	}
+	for i, f := range info.Flows {
+		i := i
+		if c.Secure {
+			c.Stack.DialSSL(f.Entry, port, func(sc *transport.SecureConn, err error) {
+				if err != nil {
+					onConn(i)(nil, err)
+					return
+				}
+				onConn(i)(sc, nil)
+			})
+		} else {
+			c.Stack.Dial(f.Entry, port, func(conn *transport.Conn, err error) {
+				if err != nil {
+					onConn(i)(nil, err)
+					return
+				}
+				onConn(i)(conn, nil)
+			})
+		}
+	}
+}
+
+// CloseChannel tears down the cached channel to target at the MC. Streams
+// using it should be closed first. cb may be nil.
+func (c *Client) CloseChannel(target string, cb func()) error {
+	cc, ok := c.channels[target]
+	if !ok {
+		return fmt.Errorf("mic: no cached channel to %q", target)
+	}
+	delete(c.channels, target)
+	return c.MC.CloseChannel(cc.info.ID, cb)
+}
+
+// Channel returns the cached channel info for target, if any. Harnesses use
+// it to inspect paths and entry addresses.
+func (c *Client) Channel(target string) (*ChannelInfo, bool) {
+	cc, ok := c.channels[target]
+	if !ok {
+		return nil, false
+	}
+	return cc.info, true
+}
+
+// StartIdleNotifier implements the paper's channel-management optimization
+// (Sec IV-B1): instead of a shutdown request per connection, "a dedicated
+// module in the initiator will send notification to the MC periodically."
+// Every interval, channels unused for at least one full interval are torn
+// down at the MC. Returns a stop function.
+func (c *Client) StartIdleNotifier(interval time.Duration) (stop func()) {
+	c.notifier++
+	gen := c.notifier
+	eng := c.MC.Net.Eng
+	var tick func()
+	tick = func() {
+		if gen != c.notifier {
+			return
+		}
+		now := eng.Now()
+		for target, cc := range c.channels {
+			if now.Sub(cc.lastUsed) >= interval {
+				// Errors cannot occur here: the channel is cached.
+				_ = c.CloseChannel(target, nil)
+			}
+		}
+		eng.After(interval, tick)
+	}
+	eng.After(interval, tick)
+	return func() { c.notifier++ }
+}
+
+func hello(token uint64, idx, total uint8) []byte {
+	h := make([]byte, helloLen)
+	binary.BigEndian.PutUint64(h[0:8], token)
+	h[8], h[9] = idx, total
+	return h
+}
+
+// Listener is the responder-side MIC library: it accepts the m-flow
+// connections of inbound channels, groups them by hello token, and
+// delivers one Stream per logical peer connection.
+type Listener struct {
+	// Port and Secure echo the Listen arguments for inspection.
+	Port   uint16
+	Secure bool
+
+	stack   *transport.Stack
+	onOpen  func(*Stream)
+	pending map[uint64]*pendingStream
+	rng     *sim.RNG
+}
+
+type pendingStream struct {
+	total int
+	conns []transport.ByteStream
+	bufs  [][]byte
+	have  int
+}
+
+// Listen starts accepting mimic channels on port. secure selects MIC-SSL.
+// Register any hidden-service name separately via MC.RegisterHiddenService.
+func Listen(stack *transport.Stack, port uint16, secure bool, onOpen func(*Stream)) *Listener {
+	l := &Listener{
+		Port:    port,
+		Secure:  secure,
+		stack:   stack,
+		onOpen:  onOpen,
+		pending: make(map[uint64]*pendingStream),
+		rng:     sim.NewRNG(uint64(stack.Host.IP) ^ 0x11e55),
+	}
+	if secure {
+		stack.ListenSSL(port, func(sc *transport.SecureConn) { l.accept(sc) })
+	} else {
+		stack.Listen(port, func(conn *transport.Conn) { l.accept(conn) })
+	}
+	return l
+}
+
+// accept buffers bytes from a new connection until its hello arrives, then
+// binds the connection into its channel's pending stream.
+func (l *Listener) accept(bs transport.ByteStream) {
+	var pre []byte
+	bs.OnData(func(b []byte) {
+		pre = append(pre, b...)
+		if len(pre) < helloLen {
+			return
+		}
+		token := binary.BigEndian.Uint64(pre[0:8])
+		idx, total := int(pre[8]), int(pre[9])
+		rest := append([]byte(nil), pre[helloLen:]...)
+		l.bind(bs, token, idx, total, rest)
+	})
+}
+
+func (l *Listener) bind(bs transport.ByteStream, token uint64, idx, total int, rest []byte) {
+	if total < 1 || idx >= total {
+		bs.Close()
+		return
+	}
+	ps, ok := l.pending[token]
+	if !ok {
+		ps = &pendingStream{
+			total: total,
+			conns: make([]transport.ByteStream, total),
+			bufs:  make([][]byte, total),
+		}
+		l.pending[token] = ps
+	}
+	if ps.total != total || ps.conns[idx] != nil {
+		bs.Close()
+		return
+	}
+	ps.conns[idx] = bs
+	ps.bufs[idx] = rest
+	ps.have++
+	if ps.have < total {
+		// Buffer anything that arrives before the channel's other m-flow
+		// connections show up; newStream rebinds the handler later.
+		bs.OnData(func(b []byte) { ps.bufs[idx] = append(ps.bufs[idx], b...) })
+		return
+	}
+	delete(l.pending, token)
+	s := newStream(ps.conns, l.rng.Stream(fmt.Sprintf("resp-%d", token)))
+	// Replay bytes that arrived glued to or after the hellos.
+	for i, b := range ps.bufs {
+		if len(b) > 0 {
+			s.feed(i, b)
+		}
+	}
+	l.onOpen(s)
+}

@@ -1,0 +1,369 @@
+// Package mic implements the paper's contribution: Mimic Channel, an
+// in-network anonymity system for SDN data centers. The Mimic Controller
+// (MC) computes per-m-flow routes, selects Mimic Nodes (MNs), mints
+// m-addresses through the MAGA hash family, and installs header-rewrite
+// rules so that no single link or switch ever observes both real endpoints
+// of a flow. The client library provides a socket-like API (Dial / Listen)
+// and implements the two traffic-analysis defenses: multiple m-flows
+// (traffic slicing) and partial multicast (decoy replication at edge MNs).
+package mic
+
+import (
+	"fmt"
+	"time"
+
+	"mic/internal/addr"
+	"mic/internal/ctrlplane"
+	"mic/internal/flowtable"
+	"mic/internal/maga"
+	"mic/internal/netsim"
+	"mic/internal/packet"
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+// Config tunes a Mimic Controller.
+type Config struct {
+	Widths maga.Widths
+
+	// MFlows is the default number of m-flows per channel (paper default 1;
+	// the multiple-m-flows defense uses more).
+	MFlows int
+
+	// MNs is the number of Mimic Nodes per m-flow — the paper's "route
+	// length" privacy knob.
+	MNs int
+
+	// MulticastFanout replicates packets at the first MN into this many
+	// copies (1 disables partial multicast).
+	MulticastFanout int
+
+	// RequestLatency is the one-way client<->MC request delay.
+	RequestLatency time.Duration
+
+	// ComputeCost is the MC's routing calculation CPU per m-flow.
+	ComputeCost time.Duration
+
+	// RequestCryptoCost is the AES cost of sealing/opening one request, paid
+	// on both the client and the MC (the paper encrypts requests with a
+	// pre-exchanged key).
+	RequestCryptoCost time.Duration
+
+	// MaxEqualCostPaths caps shortest-path enumeration.
+	MaxEqualCostPaths int
+
+	// StrictMNs makes channel establishment fail when no path offers the
+	// requested number of Mimic Nodes. By default the MC degrades
+	// gracefully and uses as many MNs as the best path allows (same-ToR
+	// host pairs in a fat-tree admit only one switch on any simple path).
+	StrictMNs bool
+
+	// PathPolicy selects among equal-cost candidates: PathRandom (default,
+	// best for anonymity — predictable placement helps an adversary) or
+	// PathLeastLoaded, which exploits the MC's global channel map to avoid
+	// stacking m-flows on the same links. Ablated by micbench -fig a4.
+	PathPolicy PathPolicy
+
+	// Seed drives all of the MC's randomized choices. In a distributed
+	// deployment (Sec VI-C) every controller must share the same Seed so
+	// they derive identical per-MN MAGA keying.
+	Seed uint64
+
+	// InstanceID and IDSpace support the paper's distributed-controller
+	// deployment (Sec VI-C): "assign a unique ID space for each controller".
+	// Controllers with the same Seed, distinct InstanceIDs and disjoint
+	// IDSpaces can manage channels on the same fabric without collisions;
+	// each initiator must be served by exactly one controller. A zero
+	// IDSpace means the whole flow-ID space.
+	InstanceID uint32
+	IDSpace    IDRange
+}
+
+// IDRange is a half-open flow-ID interval [Lo, Hi).
+type IDRange struct{ Lo, Hi uint32 }
+
+// PathPolicy selects among equal-cost path candidates.
+type PathPolicy int
+
+const (
+	// PathRandom picks uniformly, the paper's behaviour.
+	PathRandom PathPolicy = iota
+	// PathLeastLoaded picks the candidate whose most-loaded link carries
+	// the fewest m-flows, using the MC's own bookkeeping.
+	PathLeastLoaded
+)
+
+// DefaultConfig mirrors the paper's defaults: one m-flow, three MNs.
+func DefaultConfig() Config {
+	return Config{
+		Widths:            maga.DefaultWidths(),
+		MFlows:            1,
+		MNs:               3,
+		MulticastFanout:   1,
+		RequestLatency:    500 * time.Microsecond,
+		ComputeCost:       50 * time.Microsecond,
+		RequestCryptoCost: 20 * time.Microsecond,
+		MaxEqualCostPaths: 16,
+		Seed:              1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Widths == (maga.Widths{}) {
+		c.Widths = d.Widths
+	}
+	if c.MFlows == 0 {
+		c.MFlows = d.MFlows
+	}
+	if c.MNs == 0 {
+		c.MNs = d.MNs
+	}
+	if c.MulticastFanout == 0 {
+		c.MulticastFanout = d.MulticastFanout
+	}
+	if c.RequestLatency == 0 {
+		c.RequestLatency = d.RequestLatency
+	}
+	if c.ComputeCost == 0 {
+		c.ComputeCost = d.ComputeCost
+	}
+	if c.RequestCryptoCost == 0 {
+		c.RequestCryptoCost = d.RequestCryptoCost
+	}
+	if c.MaxEqualCostPaths == 0 {
+		c.MaxEqualCostPaths = d.MaxEqualCostPaths
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// FlowInfo describes one established m-flow from the initiator's view.
+type FlowInfo struct {
+	Entry addr.IP // the entry address the initiator sends to
+	Path  topo.Path
+	MNs   []topo.NodeID
+}
+
+// ChannelInfo is the MC's acknowledgement to a channel request.
+type ChannelInfo struct {
+	ID        uint64
+	Responder addr.IP // real responder (kept MC-side; clients get entries)
+	Flows     []FlowInfo
+}
+
+// channelState is the MC's bookkeeping for one live channel.
+type channelState struct {
+	info      *ChannelInfo
+	initiator addr.IP
+	opts      ChannelOptions
+	epoch     uint32 // bumped per repair; part of the rule cookie
+	flowIDs   []uint32
+	switches  map[topo.NodeID]bool // where rules were installed
+	groups    []groupRef           // partial-multicast groups to clean up
+	entries   []addr.IP
+	finals    []addr.IP
+	res       []flowRes // per-flow durable resources (survive repairs)
+	links     []linkKey // directed links carrying this channel's m-flows
+}
+
+// flowRes are the parts of an m-flow that must survive a path repair so
+// established transport connections keep working: the endpoint-visible
+// fake addresses and the flow IDs.
+type flowRes struct {
+	entry    addr.IP
+	finalSrc addr.IP
+	fwdID    uint32
+	revID    uint32
+}
+
+// groupRef locates one installed group-table entry.
+type groupRef struct {
+	node topo.NodeID
+	id   flowtable.GroupID
+}
+
+// linkKey identifies a directed link for load accounting.
+type linkKey struct {
+	node topo.NodeID
+	port int
+}
+
+// MC is the Mimic Controller. It owns the fabric's common routing (via the
+// embedded proactive router), the per-MN MAGA keying, channel state and the
+// hidden-service map.
+type MC struct {
+	Net *netsim.Network
+	Ch  *ctrlplane.Channel
+	Cfg Config
+
+	rng     *sim.RNG
+	pathRng *sim.RNG
+
+	params map[topo.NodeID]maga.Params
+	gens   map[topo.NodeID]*maga.Generator
+	sids   map[topo.NodeID]uint32
+	cid    uint32 // common-flow class
+	// CFLabel is the label installed by the proactive router; its SPart
+	// classifies as cid under every relevant check the MC performs.
+	CFLabel addr.Label
+
+	flowIDs   *idAllocator
+	hidden    map[string]addr.IP
+	channels  map[uint64]*channelState
+	nextChan  uint64
+	nextGroup uint32
+
+	// entryInUse reserves (endpoint, fake peer IP) pairs so two channels
+	// never share an untagged endpoint tuple — the paper's "unique match
+	// entry" requirement at the unlabeled first/last segments.
+	entryInUse map[[2]addr.IP]bool
+
+	// linkLoad counts live m-flows per directed link, feeding
+	// PathLeastLoaded.
+	linkLoad map[linkKey]int
+
+	reach reachability
+
+	// Requests counts channel-establishment requests served (ablation of
+	// channel reuse, Sec IV-B1).
+	Requests uint64
+
+	// DecoysDropped counts partial-multicast decoys that died at their next
+	// hop via table miss; UnexpectedMisses counts any other packet-in.
+	DecoysDropped    uint64
+	UnexpectedMisses uint64
+}
+
+// NewMC builds a controller for the network: assigns S_IDs and MAGA keys to
+// every switch, picks the common-flow class and label, installs proactive
+// common routing, and attaches itself as the fabric's packet-in handler.
+func NewMC(net *netsim.Network, cfg Config) (*MC, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Widths.Validate(); err != nil {
+		return nil, err
+	}
+	switches := net.Graph.Switches()
+	if uint32(len(switches))+1 > cfg.Widths.MaxSIDs() {
+		return nil, fmt.Errorf("mic: %d switches exceed %d-bit S_ID space", len(switches), cfg.Widths.SID)
+	}
+	idLo, idHi := cfg.IDSpace.Lo, cfg.IDSpace.Hi
+	if idLo == 0 && idHi == 0 {
+		idHi = cfg.Widths.MaxFlowIDs()
+	}
+	if idLo >= idHi || idHi > cfg.Widths.MaxFlowIDs() {
+		return nil, fmt.Errorf("mic: ID space [%d, %d) invalid for %d-bit flow IDs", idLo, idHi, cfg.Widths.FPart)
+	}
+	mc := &MC{
+		Net:        net,
+		Ch:         ctrlplane.NewChannel(net),
+		Cfg:        cfg,
+		rng:        sim.NewRNG(cfg.Seed),
+		params:     make(map[topo.NodeID]maga.Params),
+		gens:       make(map[topo.NodeID]*maga.Generator),
+		sids:       make(map[topo.NodeID]uint32),
+		flowIDs:    newIDAllocator(idLo, idHi),
+		hidden:     make(map[string]addr.IP),
+		channels:   make(map[uint64]*channelState),
+		entryInUse: make(map[[2]addr.IP]bool),
+		linkLoad:   make(map[linkKey]int),
+		nextChan:   uint64(cfg.InstanceID) << 32,
+		nextGroup:  cfg.InstanceID << 24,
+	}
+	mc.pathRng = mc.rng.Stream(fmt.Sprintf("paths-%d", cfg.InstanceID))
+
+	// S_ID 0 is the common-flow class C_ID; switches get 1..n.
+	mc.cid = 0
+	for i, sid := range switches {
+		id := uint32(i + 1)
+		mc.sids[sid] = id
+		p := maga.NewParams(mc.rng.Stream(fmt.Sprintf("mn-%d", sid)), cfg.Widths)
+		mc.params[sid] = p
+		mc.gens[sid] = maga.NewGenerator(p, id, mc.rng.Stream(fmt.Sprintf("gen-%d", sid)))
+	}
+	// Any label whose class is cid under a reference param set marks common
+	// flows. Mint one via a dedicated generator.
+	cfParams := maga.NewParams(mc.rng.Stream("common"), cfg.Widths)
+	cfGen := maga.NewGenerator(cfParams, mc.cid, mc.rng.Stream("common-gen"))
+	mc.CFLabel = cfGen.Label(0, 0, 0)
+
+	router := &ctrlplane.ProactiveRouter{CFLabel: mc.CFLabel}
+	if _, err := router.Install(net); err != nil {
+		return nil, err
+	}
+	mc.reach = computeReachability(net.Graph)
+	net.SetController(mc)
+	return mc, nil
+}
+
+// PacketIn implements netsim.Controller. Unmatched MF-labeled packets are
+// partial-multicast decoys and die silently (the paper's "dropped at the
+// next hop"); anything else is an unexpected miss, counted for diagnosis.
+func (mc *MC) PacketIn(sw *netsim.Switch, inPort int, p *packet.Packet) {
+	if l, ok := p.TopMPLS(); ok && l != mc.CFLabel {
+		mc.DecoysDropped++
+		return
+	}
+	mc.UnexpectedMisses++
+}
+
+// RegisterHiddenService maps a service nickname to its real host, the
+// paper's MC-resident substitute for rendezvous points (Sec IV-D).
+func (mc *MC) RegisterHiddenService(name string, ip addr.IP) error {
+	if _, dup := mc.hidden[name]; dup {
+		return fmt.Errorf("mic: hidden service %q already registered", name)
+	}
+	if mc.Net.HostByIP(ip) == nil {
+		return fmt.Errorf("mic: hidden service %q names unknown host %v", name, ip)
+	}
+	mc.hidden[name] = ip
+	return nil
+}
+
+// ResolveTarget maps a dial target (hidden-service name or dotted-quad IP)
+// to a host address.
+func (mc *MC) ResolveTarget(target string) (addr.IP, error) {
+	if ip, ok := mc.hidden[target]; ok {
+		return ip, nil
+	}
+	ip, err := addr.ParseIP(target)
+	if err != nil {
+		return 0, fmt.Errorf("mic: target %q is neither a hidden service nor an address", target)
+	}
+	if mc.Net.HostByIP(ip) == nil {
+		return 0, fmt.Errorf("mic: no host with address %v", ip)
+	}
+	return ip, nil
+}
+
+// idAllocator hands out m-flow IDs from [lo, hi), recycling expired ones
+// (Sec IV-B3: "monotonically increase the ID ... and recover the expired
+// ID"). Distributed controllers each get a disjoint [lo, hi).
+type idAllocator struct {
+	next uint32
+	lo   uint32
+	hi   uint32
+	free []uint32
+}
+
+func newIDAllocator(lo, hi uint32) *idAllocator { return &idAllocator{next: lo, lo: lo, hi: hi} }
+
+func (a *idAllocator) alloc() (uint32, error) {
+	if n := len(a.free); n > 0 {
+		id := a.free[n-1]
+		a.free = a.free[:n-1]
+		return id, nil
+	}
+	if a.next >= a.hi {
+		return 0, fmt.Errorf("mic: m-flow ID space [%d, %d) exhausted", a.lo, a.hi)
+	}
+	id := a.next
+	a.next++
+	return id, nil
+}
+
+func (a *idAllocator) release(id uint32) { a.free = append(a.free, id) }
+
+func (a *idAllocator) inUse() int { return int(a.next-a.lo) - len(a.free) }

@@ -1,0 +1,674 @@
+package mic
+
+import (
+	"fmt"
+	"time"
+
+	"mic/internal/addr"
+	"mic/internal/ctrlplane"
+	"mic/internal/flowtable"
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+// ChannelOptions override the MC defaults per request, the paper's
+// user-chosen privacy/performance trade (m-flow number F and MN number N
+// travel in the encrypted request packet).
+type ChannelOptions struct {
+	MFlows          int
+	MNs             int
+	MulticastFanout int
+}
+
+func (o ChannelOptions) withDefaults(c Config) ChannelOptions {
+	if o.MFlows == 0 {
+		o.MFlows = c.MFlows
+	}
+	if o.MNs == 0 {
+		o.MNs = c.MNs
+	}
+	if o.MulticastFanout == 0 {
+		o.MulticastFanout = c.MulticastFanout
+	}
+	return o
+}
+
+// tuple is one hop's header state: the (m_src_ip, m_dst_ip, mpls)
+// three-tuple the paper uses to identify an m-flow on a switch.
+type tuple struct {
+	src, dst addr.IP
+	label    addr.Label
+	tagged   bool
+}
+
+func (t tuple) match() flowtable.Match {
+	m := flowtable.Match{
+		Mask:  flowtable.MatchIPSrc | flowtable.MatchIPDst,
+		IPSrc: t.src, IPDst: t.dst,
+	}
+	if t.tagged {
+		m.Mask |= flowtable.MatchMPLS
+		m.MPLS = t.label
+	} else {
+		m.Mask |= flowtable.MatchNoMPLS
+	}
+	return m
+}
+
+// EstablishChannel serves one channel request from initiator to target
+// (hidden-service name or dotted-quad IP). The callback fires on the
+// virtual timeline after the request round trip and rule installation
+// complete — the interval a client measures as "MIC connect" time (Fig 7).
+func (mc *MC) EstablishChannel(initiator addr.IP, target string, opts ChannelOptions, cb func(*ChannelInfo, error)) {
+	mc.Requests++
+	opts = opts.withDefaults(mc.Cfg)
+	// Request packet: sealed by the client, opened by the MC.
+	mc.Net.CPU.Charge("crypto", 2*mc.Cfg.RequestCryptoCost)
+	mc.Net.Eng.After(mc.Cfg.RequestLatency, func() {
+		info, mods, err := mc.computeChannel(initiator, target, opts)
+		if err != nil {
+			mc.Net.Eng.After(mc.Cfg.RequestLatency, func() { cb(nil, err) })
+			return
+		}
+		// Acknowledgement: sealed by the MC, opened by the client.
+		mc.Net.CPU.Charge("crypto", 2*mc.Cfg.RequestCryptoCost)
+		mc.Ch.InstallAll(mods, func() {
+			mc.Net.Eng.After(mc.Cfg.RequestLatency, func() { cb(info, nil) })
+		})
+	})
+}
+
+// computeChannel performs the MC's routing calculation synchronously and
+// returns the channel info plus the table modifications to install.
+func (mc *MC) computeChannel(initiator addr.IP, target string, opts ChannelOptions) (*ChannelInfo, []ctrlplane.Mod, error) {
+	respIP, err := mc.ResolveTarget(target)
+	if err != nil {
+		return nil, nil, err
+	}
+	initHost := mc.Net.Graph.HostByIP(initiator)
+	if initHost == nil {
+		return nil, nil, fmt.Errorf("mic: unknown initiator %v", initiator)
+	}
+	if respIP == initiator {
+		return nil, nil, fmt.Errorf("mic: initiator and responder are the same host")
+	}
+	if opts.MNs < 1 {
+		return nil, nil, fmt.Errorf("mic: need at least one Mimic Node, got %d", opts.MNs)
+	}
+	mc.Net.CPU.Charge("mc", time.Duration(opts.MFlows)*mc.Cfg.ComputeCost)
+
+	st := &channelState{
+		initiator: initiator,
+		opts:      opts,
+		switches:  make(map[topo.NodeID]bool),
+	}
+	id := mc.nextChan
+	mc.nextChan++
+	info := &ChannelInfo{ID: id, Responder: respIP}
+	var mods []ctrlplane.Mod
+
+	cleanup := func() {
+		for _, fid := range st.flowIDs {
+			mc.flowIDs.release(fid)
+		}
+		for _, e := range st.entries {
+			delete(mc.entryInUse, [2]addr.IP{initiator, e})
+		}
+		for _, f := range st.finals {
+			delete(mc.entryInUse, [2]addr.IP{respIP, f})
+		}
+	}
+
+	for fi := 0; fi < opts.MFlows; fi++ {
+		flowMods, flowInfo, err := mc.computeFlow(st, info, initHost.ID, respIP, opts, nil)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		mods = append(mods, flowMods...)
+		info.Flows = append(info.Flows, flowInfo)
+	}
+	st.info = info
+	mc.channels[id] = st
+	return info, mods, nil
+}
+
+// computeFlow builds one m-flow: path, MN selection, m-address chains in
+// both directions, and the rewrite/forward rules for every switch touched.
+// With fixed == nil it allocates fresh endpoint resources (entry address,
+// final source, flow IDs) and records them in st; a non-nil fixed reuses
+// existing resources — the repair path, which must not change what the
+// endpoints see.
+func (mc *MC) computeFlow(st *channelState, info *ChannelInfo, initNode topo.NodeID, respIP addr.IP, opts ChannelOptions, fixed *flowRes) ([]ctrlplane.Mod, FlowInfo, error) {
+	g := mc.Net.Graph
+	respNode := g.HostByIP(respIP).ID
+	initIP := st.initiator
+	initMAC := g.Node(initNode).MAC
+	respMAC := g.Node(respNode).MAC
+
+	path, err := mc.selectPath(initNode, respNode, opts.MNs)
+	if err != nil {
+		return nil, FlowInfo{}, err
+	}
+	mc.chargePathLoad(st, path)
+	// Switch positions within the path (hosts occupy the two ends; BCube
+	// paths may also transit hosts, which cannot rewrite).
+	var swPos []int
+	for i, n := range path {
+		if g.Node(n).Kind == topo.KindSwitch {
+			swPos = append(swPos, i)
+		}
+	}
+	k := len(swPos)
+	n := opts.MNs
+	if k < n {
+		if mc.Cfg.StrictMNs {
+			return nil, FlowInfo{}, fmt.Errorf("mic: selected path has %d switches, need %d MNs", k, n)
+		}
+		n = k
+	}
+	// Choose which switches act as MNs: a random subset, kept in path order.
+	mnSel := mc.pathRng.Perm(k)[:n]
+	sortInts(mnSel)
+	mnPos := make([]int, n) // positions within path
+	var mnIDs []topo.NodeID
+	for i, s := range mnSel {
+		mnPos[i] = swPos[s]
+		mnIDs = append(mnIDs, path[swPos[s]])
+	}
+
+	var entry, finalSrc addr.IP
+	var fwdID, revID uint32
+	if fixed != nil {
+		entry, finalSrc = fixed.entry, fixed.finalSrc
+		fwdID, revID = fixed.fwdID, fixed.revID
+	} else {
+		var err error
+		fwdID, err = mc.flowIDs.alloc()
+		if err != nil {
+			return nil, FlowInfo{}, err
+		}
+		st.flowIDs = append(st.flowIDs, fwdID)
+		revID, err = mc.flowIDs.alloc()
+		if err != nil {
+			return nil, FlowInfo{}, err
+		}
+		st.flowIDs = append(st.flowIDs, revID)
+
+		// Entry address: a real host, plausible beyond the initiator's first
+		// switch, unique among the initiator's live channels.
+		entry, err = mc.reserveFake(initIP, mc.poolAhead(path, swPos[0], initIP, respIP))
+		if err != nil {
+			return nil, FlowInfo{}, err
+		}
+		st.entries = append(st.entries, entry)
+		// Final source: the fake peer the responder sees; also serves as the
+		// reply's entry address, so it gets the same uniqueness reservation.
+		finalSrc, err = mc.reserveFake(respIP, mc.poolBehind(path, swPos[k-1], initIP, respIP))
+		if err != nil {
+			return nil, FlowInfo{}, err
+		}
+		st.finals = append(st.finals, finalSrc)
+		st.res = append(st.res, flowRes{entry: entry, finalSrc: finalSrc, fwdID: fwdID, revID: revID})
+	}
+
+	// Forward tuple chain T[0..n].
+	T := make([]tuple, n+1)
+	T[0] = tuple{src: initIP, dst: entry}
+	for j := 1; j < n; j++ {
+		mn := path[mnPos[j-1]]
+		gen := mc.gens[mn]
+		srcPool := mc.reach.via(g, mn, g.PortTo(mn, path[mnPos[j-1]-1]), initIP, respIP)
+		dstPool := mc.reach.via(g, mn, g.PortTo(mn, path[mnPos[j-1]+1]), initIP, respIP)
+		s, d, l := gen.MAddr(fwdID, srcPool, dstPool)
+		T[j] = tuple{src: s, dst: d, label: l, tagged: true}
+	}
+	T[n] = tuple{src: finalSrc, dst: respIP}
+
+	// Reverse tuple chain U[0..n]: U[n] leaves the responder, U[0] reaches
+	// the initiator. U[j] (1 <= j <= n-1) is minted by MN_{j+1}, the node
+	// that rewrites onto that segment in the reverse direction.
+	U := make([]tuple, n+1)
+	U[n] = tuple{src: respIP, dst: finalSrc}
+	for j := n - 1; j >= 1; j-- {
+		mn := path[mnPos[j]] // MN_{j+1} in 1-based terms
+		gen := mc.gens[mn]
+		srcPool := mc.reach.via(g, mn, g.PortTo(mn, path[mnPos[j]+1]), initIP, respIP)
+		dstPool := mc.reach.via(g, mn, g.PortTo(mn, path[mnPos[j]-1]), initIP, respIP)
+		s, d, l := gen.MAddr(revID, srcPool, dstPool)
+		U[j] = tuple{src: s, dst: d, label: l, tagged: true}
+	}
+	U[0] = tuple{src: entry, dst: initIP}
+
+	var mods []ctrlplane.Mod
+	add := func(node topo.NodeID, e *flowtable.Entry, grp *flowtable.Group) {
+		e2 := e
+		if e2 != nil {
+			e2.Priority = ctrlplane.PriorityMFlow
+			e2.Cookie = st.cookie(info.ID)
+			st.switches[node] = true
+		}
+		if grp != nil {
+			st.switches[node] = true
+			st.groups = append(st.groups, groupRef{node: node, id: grp.ID})
+		}
+		mods = append(mods, ctrlplane.Mod{Switch: mc.Net.Switch(node), Entry: e2, Group: grp})
+	}
+
+	// Forward rules.
+	cur := 0 // index into T: tuple currently on the wire
+	for pi := 1; pi < len(path)-1; pi++ {
+		node := path[pi]
+		if g.Node(node).Kind != topo.KindSwitch {
+			continue // BCube relay hosts forward in their stack; out of scope here
+		}
+		out := g.PortTo(node, path[pi+1])
+		j := mnIndexAt(mnPos, pi)
+		if j < 0 {
+			if cur == n {
+				continue // past the last MN: common routing delivers T[n]
+			}
+			add(node, &flowtable.Entry{Match: T[cur].match(), Actions: []flowtable.Action{flowtable.Output(out)}}, nil)
+			continue
+		}
+		// This switch is MN_{j+1} (j is 0-based here).
+		jj := j + 1
+		actions := mc.rewriteActions(T[cur], T[jj], jj, n)
+		if path[pi+1] == respNode {
+			actions = append(actions, flowtable.SetEthDst(respMAC))
+		}
+		actions = append(actions, flowtable.Output(out))
+		if jj == 1 && opts.MulticastFanout > 1 {
+			grp, decoys := mc.buildMulticast(node, path[pi-1], path[pi+1], actions, T[cur], fwdID, opts.MulticastFanout)
+			add(node, &flowtable.Entry{Match: T[cur].match(), Actions: []flowtable.Action{flowtable.OutputGroup(grp.ID)}}, grp)
+			for _, d := range decoys {
+				add(d.node, &flowtable.Entry{Match: d.t.match(), Actions: nil}, nil) // drop at next hop
+			}
+		} else {
+			add(node, &flowtable.Entry{Match: T[cur].match(), Actions: actions}, nil)
+		}
+		cur = jj
+	}
+
+	// Reverse rules.
+	cur = n
+	for pi := len(path) - 2; pi >= 1; pi-- {
+		node := path[pi]
+		if g.Node(node).Kind != topo.KindSwitch {
+			continue
+		}
+		out := g.PortTo(node, path[pi-1])
+		j := mnIndexAt(mnPos, pi)
+		if j < 0 {
+			if cur == 0 {
+				continue // past MN_1 on the reply path: common routing delivers U[0]
+			}
+			add(node, &flowtable.Entry{Match: U[cur].match(), Actions: []flowtable.Action{flowtable.Output(out)}}, nil)
+			continue
+		}
+		jj := j + 1 // this is MN_jj; it rewrites U[jj] -> U[jj-1]
+		actions := mc.rewriteActions(U[cur], U[jj-1], n-jj+1, n)
+		if path[pi-1] == initNode {
+			actions = append(actions, flowtable.SetEthDst(initMAC))
+		}
+		actions = append(actions, flowtable.Output(out))
+		if jj == n && opts.MulticastFanout > 1 {
+			grp, decoys := mc.buildMulticast(node, path[pi+1], path[pi-1], actions, U[cur], revID, opts.MulticastFanout)
+			add(node, &flowtable.Entry{Match: U[cur].match(), Actions: []flowtable.Action{flowtable.OutputGroup(grp.ID)}}, grp)
+			for _, d := range decoys {
+				add(d.node, &flowtable.Entry{Match: d.t.match(), Actions: nil}, nil)
+			}
+		} else {
+			add(node, &flowtable.Entry{Match: U[cur].match(), Actions: actions}, nil)
+		}
+		cur = jj - 1
+	}
+
+	return mods, FlowInfo{Entry: entry, Path: path, MNs: mnIDs}, nil
+}
+
+// rewriteActions converts `from` into `to` at MN number j of n (1-based).
+// Besides the IP pair, the MN also rewrites the MAC pair to the owners of
+// the fake IPs, so layer-2 observation is equally misled (the paper's
+// m-addresses cover "MAC, IP and port").
+func (mc *MC) rewriteActions(from, to tuple, j, n int) []flowtable.Action {
+	actions := []flowtable.Action{
+		flowtable.SetIPSrc(to.src),
+		flowtable.SetIPDst(to.dst),
+	}
+	if h := mc.Net.Graph.HostByIP(to.src); h != nil {
+		actions = append(actions, flowtable.SetEthSrc(h.MAC))
+	}
+	if h := mc.Net.Graph.HostByIP(to.dst); h != nil {
+		actions = append(actions, flowtable.SetEthDst(h.MAC))
+	}
+	switch {
+	case !from.tagged && to.tagged:
+		actions = append(actions, flowtable.PushMPLS(to.label))
+	case from.tagged && !to.tagged:
+		actions = append(actions, flowtable.PopMPLS{})
+	case from.tagged && to.tagged:
+		actions = append(actions, flowtable.SetMPLS(to.label))
+	}
+	return actions
+}
+
+// decoyRule records a drop rule to install at a decoy's next hop.
+type decoyRule struct {
+	node topo.NodeID
+	t    tuple
+}
+
+// buildMulticast assembles the partial-multicast ALL group at an edge MN
+// (Sec IV-C, Fig 6): bucket 0 carries the real rewrite; each extra bucket
+// rewrites a clone to a decoy m-address and sends it out a different
+// switch-facing port, where a drop rule kills it one hop later.
+func (mc *MC) buildMulticast(node, prevNode, nextNode topo.NodeID, realActions []flowtable.Action, arriving tuple, flowID uint32, fanout int) (*flowtable.Group, []decoyRule) {
+	g := mc.Net.Graph
+	mc.nextGroup++
+	grp := &flowtable.Group{ID: flowtable.GroupID(mc.nextGroup)}
+	grp.Buckets = append(grp.Buckets, flowtable.Bucket{Actions: realActions})
+	realOut := g.PortTo(node, nextNode)
+	inPort := g.PortTo(node, prevNode)
+	var decoys []decoyRule
+	for port, p := range g.Node(node).Ports {
+		if len(grp.Buckets) >= fanout {
+			break
+		}
+		if port == realOut || port == inPort || g.Node(p.Peer).Kind != topo.KindSwitch {
+			continue
+		}
+		gen := mc.gens[node]
+		srcPool := mc.reach.via(g, node, inPort)
+		dstPool := mc.reach.via(g, node, port)
+		s, d, l := gen.MAddr(flowID, srcPool, dstPool)
+		dt := tuple{src: s, dst: d, label: l, tagged: true}
+		actions := mc.rewriteActions(arriving, dt, 1, 2)
+		actions = append(actions, flowtable.Output(port))
+		grp.Buckets = append(grp.Buckets, flowtable.Bucket{Actions: actions})
+		decoys = append(decoys, decoyRule{node: p.Peer, t: dt})
+	}
+	return grp, decoys
+}
+
+// selectPath picks a route: a random equal-cost shortest path when one has
+// enough switches, otherwise a longer path per the paper's extension rule.
+// Failed links and switches (the MC's global view includes liveness) are
+// never routed through.
+func (mc *MC) selectPath(src, dst topo.NodeID, minSwitches int) (topo.Path, error) {
+	g := mc.Net.Graph
+	cands := mc.alivePaths(g.EqualCostPaths(src, dst, mc.Cfg.MaxEqualCostPaths))
+	if len(cands) > 0 && cands[0].SwitchCount(g) >= minSwitches {
+		return mc.pickPath(cands), nil
+	}
+	longer := mc.alivePaths(g.PathsWithMinSwitches(src, dst, minSwitches, minSwitches+6, 64))
+	if len(longer) > 0 {
+		return mc.pickPath(longer), nil
+	}
+	if len(cands) > 0 && !mc.Cfg.StrictMNs {
+		// Degrade: the caller clamps the MN count to the path's switches.
+		return mc.pickPath(cands), nil
+	}
+	if mc.Cfg.StrictMNs && (len(cands) > 0 || len(longer) > 0) {
+		return nil, fmt.Errorf("mic: no live path with %d switches between %s and %s",
+			minSwitches, g.Node(src).Name, g.Node(dst).Name)
+	}
+	return nil, fmt.Errorf("mic: no live path between %s and %s", g.Node(src).Name, g.Node(dst).Name)
+}
+
+// pickPath applies the configured path policy over equal candidates.
+func (mc *MC) pickPath(cands []topo.Path) topo.Path {
+	if mc.Cfg.PathPolicy == PathRandom || len(cands) == 1 {
+		return sim.Pick(mc.pathRng, cands)
+	}
+	g := mc.Net.Graph
+	best := -1
+	var winners []topo.Path
+	for _, p := range cands {
+		worst := 0
+		for i := 0; i+1 < len(p); i++ {
+			load := mc.linkLoad[linkKey{p[i], g.PortTo(p[i], p[i+1])}]
+			if load > worst {
+				worst = load
+			}
+		}
+		switch {
+		case best < 0 || worst < best:
+			best = worst
+			winners = winners[:0]
+			winners = append(winners, p)
+		case worst == best:
+			winners = append(winners, p)
+		}
+	}
+	return sim.Pick(mc.pathRng, winners)
+}
+
+// chargePathLoad records one m-flow's occupancy on every directed link of
+// its path (both directions), for PathLeastLoaded and for teardown.
+func (mc *MC) chargePathLoad(st *channelState, path topo.Path) {
+	g := mc.Net.Graph
+	for i := 0; i+1 < len(path); i++ {
+		fwd := linkKey{path[i], g.PortTo(path[i], path[i+1])}
+		rev := linkKey{path[i+1], g.PortTo(path[i+1], path[i])}
+		mc.linkLoad[fwd]++
+		mc.linkLoad[rev]++
+		st.links = append(st.links, fwd, rev)
+	}
+}
+
+// releaseLoad returns a channel's link occupancy.
+func (mc *MC) releaseLoad(st *channelState) {
+	for _, lk := range st.links {
+		if mc.linkLoad[lk] > 0 {
+			mc.linkLoad[lk]--
+		}
+	}
+	st.links = nil
+}
+
+// alivePaths filters out paths crossing failed links or switches.
+func (mc *MC) alivePaths(paths []topo.Path) []topo.Path {
+	g := mc.Net.Graph
+	out := paths[:0]
+	for _, p := range paths {
+		if mc.pathAlive(p) {
+			out = append(out, p)
+		}
+	}
+	_ = g
+	return out
+}
+
+func (mc *MC) pathAlive(p topo.Path) bool {
+	g := mc.Net.Graph
+	for i, node := range p {
+		if g.Node(node).Kind == topo.KindSwitch && mc.Net.Switch(node).Down {
+			return false
+		}
+		if i+1 < len(p) {
+			if mc.Net.LinkDown(node, g.PortTo(node, p[i+1])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RepairChannel recomputes every m-flow of a live channel around failed
+// links/switches and reinstalls its rules, preserving the endpoint-visible
+// addresses and flow IDs so established connections keep working (their
+// retransmissions simply take the new path). cb receives the outcome.
+func (mc *MC) RepairChannel(id uint64, cb func(error)) {
+	st, ok := mc.channels[id]
+	if !ok {
+		mc.Net.Eng.After(0, func() { cb(fmt.Errorf("mic: unknown channel %d", id)) })
+		return
+	}
+	initHost := mc.Net.Graph.HostByIP(st.initiator)
+	respIP := st.info.Responder
+	// Recompute first; only tear down the old rules when the new routing
+	// exists, so an unrepairable failure leaves the old state untouched.
+	newInfo := &ChannelInfo{ID: id, Responder: respIP}
+	newSwitches := make(map[topo.NodeID]bool)
+	oldSwitches := st.switches
+	oldCookie := st.cookie(id)
+	st.switches = newSwitches
+	oldGroups := st.groups
+	st.groups = nil
+	st.epoch++
+	mc.releaseLoad(st)
+	var mods []ctrlplane.Mod
+	for i := range st.res {
+		flowMods, flowInfo, err := mc.computeFlow(st, newInfo, initHost.ID, respIP, st.opts, &st.res[i])
+		if err != nil {
+			st.switches = oldSwitches
+			st.groups = oldGroups
+			st.epoch--
+			mc.Net.Eng.After(0, func() { cb(err) })
+			return
+		}
+		mods = append(mods, flowMods...)
+		newInfo.Flows = append(newInfo.Flows, flowInfo)
+	}
+	// Make-before-break: install the new epoch's rules first (identical
+	// matches replace in place), then delete the old epoch everywhere. At no
+	// instant is the m-flow without rules, so no packet can fall through to
+	// common routing and leak toward an m-address's real owner.
+	//
+	// Update the existing ChannelInfo in place: clients hold a pointer to
+	// it, so they observe the repaired paths without a new round trip.
+	*st.info = *newInfo
+	newGroupIDs := make(map[groupRef]bool, len(st.groups))
+	for _, gr := range st.groups {
+		newGroupIDs[gr] = true
+	}
+	for _, gr := range oldGroups {
+		if !newGroupIDs[gr] {
+			mc.Net.Switch(gr.node).Table.DeleteGroup(gr.id)
+		}
+	}
+	mc.Ch.InstallAll(mods, func() {
+		remaining := len(oldSwitches)
+		if remaining == 0 {
+			cb(nil)
+			return
+		}
+		for node := range oldSwitches {
+			mc.Ch.DeleteByCookie(mc.Net.Switch(node), oldCookie, func(int) {
+				remaining--
+				if remaining == 0 {
+					cb(nil)
+				}
+			})
+		}
+	})
+}
+
+// poolAhead returns plausible entry addresses: hosts beyond firstSwitchPos
+// along the path, from the first switch's forward egress.
+func (mc *MC) poolAhead(path topo.Path, firstSwitchPos int, exclude ...addr.IP) []addr.IP {
+	g := mc.Net.Graph
+	sw := path[firstSwitchPos]
+	port := g.PortTo(sw, path[firstSwitchPos+1])
+	return mc.reach.via(g, sw, port, exclude...)
+}
+
+// poolBehind returns plausible final sources: hosts behind lastSwitchPos
+// (on the initiator side), from the last switch's reverse egress.
+func (mc *MC) poolBehind(path topo.Path, lastSwitchPos int, exclude ...addr.IP) []addr.IP {
+	g := mc.Net.Graph
+	sw := path[lastSwitchPos]
+	port := g.PortTo(sw, path[lastSwitchPos-1])
+	return mc.reach.via(g, sw, port, exclude...)
+}
+
+// reserveFake picks an address from pool that is not already reserved for
+// endpoint, and records the reservation.
+func (mc *MC) reserveFake(endpoint addr.IP, pool []addr.IP) (addr.IP, error) {
+	if len(pool) == 0 {
+		return 0, fmt.Errorf("mic: no plausible fake addresses available")
+	}
+	start := mc.pathRng.Intn(len(pool))
+	for i := 0; i < len(pool); i++ {
+		ip := pool[(start+i)%len(pool)]
+		key := [2]addr.IP{endpoint, ip}
+		if !mc.entryInUse[key] {
+			mc.entryInUse[key] = true
+			return ip, nil
+		}
+	}
+	return 0, fmt.Errorf("mic: all %d plausible fake addresses for %v are in use", len(pool), endpoint)
+}
+
+// cookie derives the flow-table cookie for a channel's current rule epoch.
+// Repairs bump the epoch so new rules can be installed BEFORE the previous
+// epoch's rules are deleted: overlapping entries (same match, same
+// priority) are replaced in place and survive the old epoch's deletion,
+// leaving no window in which m-flow traffic can leak into common routing.
+// Cookie layout: low 40 bits channel (offset past ctrlplane.CookieCommon),
+// high bits epoch.
+func (st *channelState) cookie(id uint64) uint64 {
+	return (id + 2) | uint64(st.epoch)<<40
+}
+
+// CloseChannel tears down a channel: deletes its rules everywhere, frees
+// its flow IDs and address reservations. cb (may be nil) fires after the
+// deletions are acknowledged.
+func (mc *MC) CloseChannel(id uint64, cb func()) error {
+	st, ok := mc.channels[id]
+	if !ok {
+		return fmt.Errorf("mic: unknown channel %d", id)
+	}
+	delete(mc.channels, id)
+	mc.releaseLoad(st)
+	for _, fid := range st.flowIDs {
+		mc.flowIDs.release(fid)
+	}
+	for _, e := range st.entries {
+		delete(mc.entryInUse, [2]addr.IP{st.initiator, e})
+	}
+	for _, f := range st.finals {
+		delete(mc.entryInUse, [2]addr.IP{st.info.Responder, f})
+	}
+	for _, gr := range st.groups {
+		mc.Net.Switch(gr.node).Table.DeleteGroup(gr.id)
+	}
+	remaining := len(st.switches)
+	if remaining == 0 {
+		if cb != nil {
+			mc.Net.Eng.After(0, cb)
+		}
+		return nil
+	}
+	for node := range st.switches {
+		mc.Ch.DeleteByCookie(mc.Net.Switch(node), st.cookie(id), func(int) {
+			remaining--
+			if remaining == 0 && cb != nil {
+				cb()
+			}
+		})
+	}
+	return nil
+}
+
+// LiveChannels reports how many channels are currently established.
+func (mc *MC) LiveChannels() int { return len(mc.channels) }
+
+// mnIndexAt returns which MN (0-based) sits at path position pi, or -1.
+func mnIndexAt(mnPos []int, pi int) int {
+	for i, p := range mnPos {
+		if p == pi {
+			return i
+		}
+	}
+	return -1
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

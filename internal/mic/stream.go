@@ -1,0 +1,206 @@
+package mic
+
+import (
+	"encoding/binary"
+
+	"mic/internal/addr"
+	"mic/internal/sim"
+	"mic/internal/transport"
+)
+
+// Wire framing of a mimic channel stream. Each m-flow connection opens with
+// a fixed hello (so the responder can group the F connections of one
+// channel), then carries length-prefixed slices. Slices are numbered in one
+// shared sequence per direction; the initiator spreads them across m-flows
+// so no single flow carries the real traffic size (Sec IV-C, multiple
+// m-flows mechanism).
+const (
+	helloLen       = 10 // token(8) flowIdx(1) total(1)
+	sliceHeaderLen = 8  // seq(4) len(2) padded(2)
+	minSlice       = 256
+	maxSlice       = 1400
+)
+
+// Stream is the application-facing byte pipe of a mimic channel: one
+// logical connection multiplexed over the channel's m-flows.
+type Stream struct {
+	conns []transport.ByteStream
+	rng   *sim.RNG
+
+	// Outgoing.
+	seqOut uint32
+	// uniform, when non-zero, pads every slice body to exactly this many
+	// bytes so all data packets on the wire share one size — a defense
+	// against packet-size fingerprinting (an extension beyond the paper).
+	uniform int
+
+	// Incoming.
+	parse  []connParser
+	reasm  map[uint32][]byte
+	seqIn  uint32
+	onData func([]byte)
+
+	onClose     func()
+	closedConns int
+	closed      bool
+
+	// Counters.
+	BytesSent int64
+	BytesRecv int64
+	SlicesOut []int64 // per m-flow slice counts (traffic-split evidence)
+}
+
+type connParser struct {
+	buf []byte
+}
+
+// newStream wires s onto its connections; conns must all be established.
+func newStream(conns []transport.ByteStream, rng *sim.RNG) *Stream {
+	s := &Stream{
+		conns:     conns,
+		rng:       rng,
+		reasm:     make(map[uint32][]byte),
+		parse:     make([]connParser, len(conns)),
+		SlicesOut: make([]int64, len(conns)),
+	}
+	for i, c := range conns {
+		i, c := i, c
+		c.OnData(func(b []byte) { s.feed(i, b) })
+		c.OnClose(func() {
+			s.closedConns++
+			if s.closedConns == len(s.conns) && s.onClose != nil {
+				cb := s.onClose
+				s.onClose = nil
+				cb()
+			}
+		})
+	}
+	return s
+}
+
+// FlowCount returns the number of m-flows carrying this stream.
+func (s *Stream) FlowCount() int { return len(s.conns) }
+
+// Remotes returns the peer address of each underlying m-flow connection as
+// this endpoint sees it. Under MIC these are m-addresses: the initiator
+// sees entry addresses, the responder sees fake final sources — never the
+// other party's real address.
+func (s *Stream) Remotes() []addr.IP {
+	out := make([]addr.IP, 0, len(s.conns))
+	for _, c := range s.conns {
+		if ra, ok := c.(interface{ RemoteAddr() (addr.IP, uint16) }); ok {
+			ip, _ := ra.RemoteAddr()
+			out = append(out, ip)
+		}
+	}
+	return out
+}
+
+// SetUniformSliceSize switches the stream to fixed-size slices: every
+// slice body is padded to exactly size bytes (64..16384), making all data
+// packets on a wire segment indistinguishable by length. Costs padding
+// bandwidth on the final slice of each Send. Zero restores randomized
+// slice sizes.
+func (s *Stream) SetUniformSliceSize(size int) {
+	if size != 0 && (size < 64 || size > 16384) {
+		panic("mic: uniform slice size out of range [64, 16384]")
+	}
+	s.uniform = size
+}
+
+// Send slices data and spreads the slices across the m-flows.
+func (s *Stream) Send(data []byte) {
+	if s.closed {
+		return
+	}
+	s.BytesSent += int64(len(data))
+	for len(data) > 0 {
+		var n, padded int
+		if s.uniform > 0 {
+			padded = s.uniform
+			n = min(len(data), padded)
+		} else {
+			n = minSlice
+			if span := maxSlice - minSlice; span > 0 {
+				n += s.rng.Intn(span + 1)
+			}
+			if n > len(data) {
+				n = len(data)
+			}
+			padded = n
+		}
+		body := make([]byte, sliceHeaderLen+padded)
+		binary.BigEndian.PutUint32(body[0:4], s.seqOut)
+		binary.BigEndian.PutUint16(body[4:6], uint16(n))
+		binary.BigEndian.PutUint16(body[6:8], uint16(padded))
+		copy(body[sliceHeaderLen:], data[:n])
+		s.seqOut++
+		flow := s.rng.Intn(len(s.conns))
+		s.SlicesOut[flow]++
+		s.conns[flow].Send(body)
+		data = data[n:]
+	}
+}
+
+// OnData registers the receive callback and flushes anything already
+// reassembled.
+func (s *Stream) OnData(fn func([]byte)) {
+	s.onData = fn
+	s.drain()
+}
+
+// OnClose registers a callback fired once every underlying connection has
+// closed.
+func (s *Stream) OnClose(fn func()) { s.onClose = fn }
+
+// Close closes all m-flow connections.
+func (s *Stream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, c := range s.conns {
+		c.Close()
+	}
+}
+
+// feed accepts raw bytes from connection i and extracts complete slices.
+func (s *Stream) feed(i int, b []byte) {
+	p := &s.parse[i]
+	p.buf = append(p.buf, b...)
+	for {
+		if len(p.buf) < sliceHeaderLen {
+			return
+		}
+		n := int(binary.BigEndian.Uint16(p.buf[4:6]))
+		padded := int(binary.BigEndian.Uint16(p.buf[6:8]))
+		if padded < n {
+			padded = n // tolerate unpadded frames
+		}
+		if len(p.buf) < sliceHeaderLen+padded {
+			return
+		}
+		seq := binary.BigEndian.Uint32(p.buf[0:4])
+		payload := append([]byte(nil), p.buf[sliceHeaderLen:sliceHeaderLen+n]...)
+		p.buf = p.buf[sliceHeaderLen+padded:]
+		s.reasm[seq] = payload
+		s.drain()
+	}
+}
+
+// drain delivers contiguous slices in order.
+func (s *Stream) drain() {
+	if s.onData == nil {
+		return
+	}
+	for {
+		payload, ok := s.reasm[s.seqIn]
+		if !ok {
+			return
+		}
+		delete(s.reasm, s.seqIn)
+		s.seqIn++
+		s.BytesRecv += int64(len(payload))
+		s.onData(payload)
+	}
+}

@@ -1,0 +1,57 @@
+package netsim
+
+import (
+	"mic/internal/addr"
+	"mic/internal/packet"
+	"mic/internal/topo"
+)
+
+// Host is the runtime of one end host. A transport stack registers a
+// handler to receive frames; Send emits frames through the NIC. Hosts are
+// deliberately dumb — MIC requires "no kernel or switch modifications"
+// (Sec III-C), so all anonymity logic lives in switch rules and the
+// user-level MIC client library.
+type Host struct {
+	net  *Network
+	ID   topo.NodeID
+	Name string
+	IP   addr.IP
+	MAC  addr.MAC
+
+	handler func(inPort int, p *packet.Packet)
+
+	RxPackets uint64
+	TxPackets uint64
+}
+
+// Net returns the network the host is attached to.
+func (h *Host) Net() *Network { return h.net }
+
+// SetHandler registers the frame receiver (the transport stack).
+func (h *Host) SetHandler(fn func(inPort int, p *packet.Packet)) { h.handler = fn }
+
+// Send emits p out of the given NIC port after the host-stack latency,
+// charging stack CPU. Most hosts have a single port 0; BCube servers are
+// multi-homed.
+func (h *Host) Send(port int, p *packet.Packet) {
+	h.TxPackets++
+	h.net.CPU.Charge("stack", h.net.Cfg.CostHostPacket)
+	h.net.Eng.After(h.net.Cfg.HostLatency, func() {
+		h.net.send(h.ID, port, p)
+	})
+}
+
+// recv delivers an arriving frame to the registered handler after the
+// host-stack latency.
+func (h *Host) recv(inPort int, p *packet.Packet) {
+	h.RxPackets++
+	h.net.CPU.Charge("stack", h.net.Cfg.CostHostPacket)
+	if h.handler == nil {
+		h.net.Stats.Dropped++
+		return
+	}
+	h.net.Eng.After(h.net.Cfg.HostLatency, func() {
+		h.net.Stats.Delivered++
+		h.handler(inPort, p)
+	})
+}

@@ -1,0 +1,331 @@
+// Package netsim executes a topo.Graph on the discrete-event engine: links
+// with bandwidth, propagation delay and drop-tail queues; switches running
+// an OpenFlow-style flow table; and hosts that hand packets to a transport
+// stack. It replaces the paper's Mininet + Open vSwitch testbed.
+//
+// Every simulated operation charges virtual CPU time to a
+// metrics.CPUAccount, which is how the repository reproduces the paper's
+// CPU-usage comparison (Fig 9c) without physical probes.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"mic/internal/addr"
+	"mic/internal/flowtable"
+	"mic/internal/metrics"
+	"mic/internal/packet"
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+// Config sets the physical parameters of the emulated fabric. Zero fields
+// take the defaults in DefaultConfig, which are calibrated in
+// EXPERIMENTS.md against the paper's Mininet testbed.
+type Config struct {
+	LinkBandwidthBps int64         // link rate in bits/s
+	LinkDelay        time.Duration // one-way propagation delay
+	QueueCapPackets  int           // per-direction drop-tail queue capacity
+	SwitchLatency    time.Duration // software-switch forwarding latency
+	HostLatency      time.Duration // host protocol-stack latency per packet
+
+	// Virtual CPU costs (Fig 9c substitutes).
+	CostSwitchPacket time.Duration // per packet forwarded by a vswitch
+	CostSwitchAction time.Duration // per packet-mutating flow action
+	CostHostPacket   time.Duration // per packet through a host stack
+
+	// LossRate injects uniform random frame loss on every link (0 = none).
+	// Deterministic per LossSeed; used for failure-injection tests.
+	LossRate float64
+	LossSeed uint64
+}
+
+// DefaultConfig mirrors a 1 Gb/s Mininet fabric with Open vSwitch.
+func DefaultConfig() Config {
+	return Config{
+		LinkBandwidthBps: 1e9,
+		LinkDelay:        5 * time.Microsecond,
+		QueueCapPackets:  100,
+		SwitchLatency:    10 * time.Microsecond,
+		HostLatency:      15 * time.Microsecond,
+		CostSwitchPacket: 2 * time.Microsecond,
+		CostSwitchAction: 300 * time.Nanosecond,
+		CostHostPacket:   3 * time.Microsecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.LinkBandwidthBps == 0 {
+		c.LinkBandwidthBps = d.LinkBandwidthBps
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = d.LinkDelay
+	}
+	if c.QueueCapPackets == 0 {
+		c.QueueCapPackets = d.QueueCapPackets
+	}
+	if c.SwitchLatency == 0 {
+		c.SwitchLatency = d.SwitchLatency
+	}
+	if c.HostLatency == 0 {
+		c.HostLatency = d.HostLatency
+	}
+	if c.CostSwitchPacket == 0 {
+		c.CostSwitchPacket = d.CostSwitchPacket
+	}
+	if c.CostSwitchAction == 0 {
+		c.CostSwitchAction = d.CostSwitchAction
+	}
+	if c.CostHostPacket == 0 {
+		c.CostHostPacket = d.CostHostPacket
+	}
+	return c
+}
+
+// Controller receives table-miss packets from switches. The Mimic
+// Controller and any learning/routing controller implement it.
+type Controller interface {
+	PacketIn(sw *Switch, inPort int, p *packet.Packet)
+}
+
+// Direction of a tapped packet relative to the tapped node.
+type Direction int
+
+// Mirror directions.
+const (
+	Ingress Direction = iota
+	Egress
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Ingress {
+		return "ingress"
+	}
+	return "egress"
+}
+
+// TapEvent is one observation from a port mirror. The packet is a private
+// clone; adversaries may inspect it freely.
+type TapEvent struct {
+	Node topo.NodeID
+	Port int
+	Dir  Direction
+	At   sim.Time
+	Pkt  *packet.Packet
+}
+
+// Tap is a port-mirroring observer, the paper's traffic-observation vector
+// (Sec III-B: "the adversary may use the port mirroring for traffic
+// observing").
+type Tap func(TapEvent)
+
+// Stats aggregates fabric-wide counters.
+type Stats struct {
+	Delivered uint64 // packets handed to host stacks
+	Forwarded uint64 // packets forwarded by switches
+	Dropped   uint64 // queue-overflow drops
+	LostDown  uint64 // packets black-holed by failed links or switches
+	TableMiss uint64 // packets with no matching flow entry and no controller
+	TxBytes   uint64 // bytes serialized onto links
+}
+
+// linkDir is the state of one direction of one cable.
+type linkDir struct {
+	busyUntil sim.Time
+	queued    int
+	txBytes   uint64
+	drops     uint64
+	down      bool
+}
+
+// Network binds a topology to the event engine.
+type Network struct {
+	Eng   *sim.Engine
+	Graph *topo.Graph
+	CPU   *metrics.CPUAccount
+	Cfg   Config
+	Stats Stats
+
+	switches map[topo.NodeID]*Switch
+	hosts    map[topo.NodeID]*Host
+	dirs     map[portKey]*linkDir
+	taps     map[topo.NodeID][]Tap
+	lossRNG  *sim.RNG
+}
+
+type portKey struct {
+	node topo.NodeID
+	port int
+}
+
+// New builds runtimes for every node of g.
+func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
+	n := &Network{
+		Eng:      eng,
+		Graph:    g,
+		CPU:      metrics.NewCPUAccount(),
+		Cfg:      cfg.withDefaults(),
+		switches: make(map[topo.NodeID]*Switch),
+		hosts:    make(map[topo.NodeID]*Host),
+		dirs:     make(map[portKey]*linkDir),
+		taps:     make(map[topo.NodeID][]Tap),
+	}
+	if n.Cfg.LossRate > 0 {
+		n.lossRNG = sim.NewRNG(n.Cfg.LossSeed ^ 0x10559)
+	}
+	for _, node := range g.Nodes {
+		switch node.Kind {
+		case topo.KindSwitch:
+			n.switches[node.ID] = &Switch{net: n, ID: node.ID, Name: node.Name, Table: flowtable.NewTable()}
+		case topo.KindHost:
+			n.hosts[node.ID] = &Host{net: n, ID: node.ID, Name: node.Name, IP: node.IP, MAC: node.MAC}
+		}
+		for p := range node.Ports {
+			n.dirs[portKey{node.ID, p}] = &linkDir{}
+		}
+	}
+	return n
+}
+
+// Switch returns the switch runtime for a node ID.
+func (n *Network) Switch(id topo.NodeID) *Switch { return n.switches[id] }
+
+// Host returns the host runtime for a node ID.
+func (n *Network) Host(id topo.NodeID) *Host { return n.hosts[id] }
+
+// HostByIP returns the host runtime owning ip, or nil.
+func (n *Network) HostByIP(ip addr.IP) *Host {
+	if node := n.Graph.HostByIP(ip); node != nil {
+		return n.hosts[node.ID]
+	}
+	return nil
+}
+
+// Switches returns all switch runtimes in topology order.
+func (n *Network) Switches() []*Switch {
+	ids := n.Graph.Switches()
+	out := make([]*Switch, len(ids))
+	for i, id := range ids {
+		out[i] = n.switches[id]
+	}
+	return out
+}
+
+// Hosts returns all host runtimes in topology order.
+func (n *Network) Hosts() []*Host {
+	ids := n.Graph.Hosts()
+	out := make([]*Host, len(ids))
+	for i, id := range ids {
+		out[i] = n.hosts[id]
+	}
+	return out
+}
+
+// SetController attaches ctrl to every switch.
+func (n *Network) SetController(ctrl Controller) {
+	for _, sw := range n.switches {
+		sw.Ctrl = ctrl
+	}
+}
+
+// AddTap mirrors all traffic of a node to fn.
+func (n *Network) AddTap(id topo.NodeID, fn Tap) {
+	n.taps[id] = append(n.taps[id], fn)
+}
+
+func (n *Network) fireTaps(id topo.NodeID, port int, dir Direction, p *packet.Packet) {
+	taps := n.taps[id]
+	if len(taps) == 0 {
+		return
+	}
+	ev := TapEvent{Node: id, Port: port, Dir: dir, At: n.Eng.Now(), Pkt: p.Clone()}
+	for _, t := range taps {
+		t(ev)
+	}
+}
+
+// SetLinkDown fails or restores the cable at (node, port), both directions.
+// Packets sent into a failed link are silently black-holed, as after a
+// physical cut.
+func (n *Network) SetLinkDown(node topo.NodeID, port int, down bool) {
+	peer := n.Graph.Node(node).Ports[port]
+	n.dirs[portKey{node, port}].down = down
+	n.dirs[portKey{peer.Peer, peer.PeerPort}].down = down
+}
+
+// LinkDown reports whether the cable at (node, port) is failed.
+func (n *Network) LinkDown(node topo.NodeID, port int) bool {
+	return n.dirs[portKey{node, port}].down
+}
+
+// SetSwitchDown fails or restores a whole switch: it stops forwarding and
+// every attached link goes dark.
+func (n *Network) SetSwitchDown(id topo.NodeID, down bool) {
+	n.switches[id].Down = down
+	for port := range n.Graph.Node(id).Ports {
+		n.SetLinkDown(id, port, down)
+	}
+}
+
+// LinkTxBytes reports bytes sent from node out of port since start.
+func (n *Network) LinkTxBytes(id topo.NodeID, port int) uint64 {
+	if d, ok := n.dirs[portKey{id, port}]; ok {
+		return d.txBytes
+	}
+	return 0
+}
+
+// send serializes p out of (from, port): drop-tail queueing, transmission
+// delay at the configured bandwidth, then propagation to the peer.
+func (n *Network) send(from topo.NodeID, port int, p *packet.Packet) {
+	node := n.Graph.Node(from)
+	if port < 0 || port >= len(node.Ports) {
+		panic(fmt.Sprintf("netsim: %s sending out nonexistent port %d", node.Name, port))
+	}
+	n.fireTaps(from, port, Egress, p)
+	if n.lossRNG != nil && n.lossRNG.Float64() < n.Cfg.LossRate {
+		n.Stats.Dropped++
+		return
+	}
+	dir := n.dirs[portKey{from, port}]
+	if dir.down {
+		n.Stats.LostDown++
+		return
+	}
+	if dir.queued >= n.Cfg.QueueCapPackets {
+		dir.drops++
+		n.Stats.Dropped++
+		return
+	}
+	peer := node.Ports[port]
+	wire := p.WireLen()
+	tx := time.Duration(int64(wire) * 8 * int64(time.Second) / n.Cfg.LinkBandwidthBps)
+	start := n.Eng.Now()
+	if dir.busyUntil > start {
+		start = dir.busyUntil
+	}
+	done := start.Add(tx)
+	dir.busyUntil = done
+	dir.queued++
+	dir.txBytes += uint64(wire)
+	n.Stats.TxBytes += uint64(wire)
+	n.Eng.At(done, func() { dir.queued-- })
+	arrive := done.Add(n.Cfg.LinkDelay)
+	n.Eng.At(arrive, func() { n.recv(peer.Peer, peer.PeerPort, p) })
+}
+
+func (n *Network) recv(at topo.NodeID, port int, p *packet.Packet) {
+	n.fireTaps(at, port, Ingress, p)
+	if sw, ok := n.switches[at]; ok {
+		sw.recv(port, p)
+		return
+	}
+	if h, ok := n.hosts[at]; ok {
+		h.recv(port, p)
+		return
+	}
+	panic(fmt.Sprintf("netsim: packet arrived at unknown node %d", at))
+}

@@ -1,0 +1,412 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"mic/internal/addr"
+	"mic/internal/flowtable"
+	"mic/internal/packet"
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+// linear1 builds h1-s1-h2 and returns the pieces.
+func linear1(t *testing.T) (*sim.Engine, *Network, *Host, *Switch, *Host) {
+	t.Helper()
+	g, err := topo.Linear(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	n := New(eng, g, Config{})
+	h1 := n.Host(g.Hosts()[0])
+	h2 := n.Host(g.Hosts()[1])
+	s1 := n.Switch(g.Switches()[0])
+	return eng, n, h1, s1, h2
+}
+
+func frame(src, dst addr.IP, payload string) *packet.Packet {
+	return &packet.Packet{
+		SrcMAC: 1, DstMAC: 2, SrcIP: src, DstIP: dst,
+		Proto: packet.ProtoTCP, TTL: 64, SrcPort: 1000, DstPort: 2000,
+		Payload: []byte(payload),
+	}
+}
+
+func TestDeliveryThroughOneSwitch(t *testing.T) {
+	eng, n, h1, s1, h2 := linear1(t)
+	port := n.Graph.PortTo(s1.ID, h2.ID)
+	s1.Table.Insert(&flowtable.Entry{
+		Priority: 1,
+		Match:    flowtable.Match{Mask: flowtable.MatchIPDst, IPDst: h2.IP},
+		Actions:  []flowtable.Action{flowtable.Output(port)},
+	}, 0)
+
+	var got *packet.Packet
+	h2.SetHandler(func(_ int, p *packet.Packet) { got = p })
+	h1.Send(0, frame(h1.IP, h2.IP, "payload"))
+	eng.Run()
+
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if string(got.Payload) != "payload" || got.SrcIP != h1.IP || got.DstIP != h2.IP {
+		t.Fatalf("delivered packet corrupted: %v", got)
+	}
+	if s1.RxPackets != 1 || s1.TxPackets != 1 {
+		t.Fatalf("switch counters rx=%d tx=%d", s1.RxPackets, s1.TxPackets)
+	}
+	if n.Stats.Delivered != 1 {
+		t.Fatalf("Delivered = %d", n.Stats.Delivered)
+	}
+}
+
+func TestDeliveryLatencyMatchesModel(t *testing.T) {
+	eng, n, h1, s1, h2 := linear1(t)
+	port := n.Graph.PortTo(s1.ID, h2.ID)
+	s1.Table.Insert(&flowtable.Entry{
+		Priority: 1,
+		Match:    flowtable.Match{},
+		Actions:  []flowtable.Action{flowtable.Output(port)},
+	}, 0)
+	var at sim.Time
+	h2.SetHandler(func(_ int, p *packet.Packet) { at = eng.Now() })
+
+	p := frame(h1.IP, h2.IP, "x")
+	wire := time.Duration(p.WireLen()) * 8 * time.Second / time.Duration(n.Cfg.LinkBandwidthBps)
+	want := n.Cfg.HostLatency + // sender stack
+		wire + n.Cfg.LinkDelay + // first link
+		n.Cfg.SwitchLatency +
+		wire + n.Cfg.LinkDelay + // second link
+		n.Cfg.HostLatency // receiver stack
+	h1.Send(0, p)
+	eng.Run()
+	if got := time.Duration(at); got != want {
+		t.Fatalf("one-way latency = %v, want %v", got, want)
+	}
+}
+
+// TestFig2RewriteChain reproduces the paper's Figure 2 walk-through: Alice
+// (10.0.0.1) sends to entry address 10.0.0.2; S1, S2 and S3 each rewrite
+// the addresses; Bob (10.0.0.8) receives a packet whose destination was
+// restored by the last switch. No intermediate link ever carries the real
+// (src, dst) pair.
+func TestFig2RewriteChain(t *testing.T) {
+	g, err := topo.Linear(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	n := New(eng, g, Config{})
+	hosts, sws := g.Hosts(), g.Switches()
+	alice, bob := n.Host(hosts[0]), n.Host(hosts[1])
+	s1, s2, s3 := n.Switch(sws[0]), n.Switch(sws[1]), n.Switch(sws[2])
+
+	ip := addr.MustParseIP
+	ins := func(sw *Switch, mSrc, mDst, nSrc, nDst addr.IP, out int) {
+		sw.Table.Insert(&flowtable.Entry{
+			Priority: 1,
+			Match:    flowtable.Match{Mask: flowtable.MatchIPSrc | flowtable.MatchIPDst, IPSrc: mSrc, IPDst: mDst},
+			Actions:  []flowtable.Action{flowtable.SetIPSrc(nSrc), flowtable.SetIPDst(nDst), flowtable.Output(out)},
+		}, 0)
+	}
+	ins(s1, ip("10.0.0.1"), ip("10.0.0.2"), ip("10.0.0.3"), ip("10.0.0.4"), g.PortTo(s1.ID, s2.ID))
+	ins(s2, ip("10.0.0.3"), ip("10.0.0.4"), ip("10.0.0.5"), ip("10.0.0.6"), g.PortTo(s2.ID, s3.ID))
+	ins(s3, ip("10.0.0.5"), ip("10.0.0.6"), ip("10.0.0.7"), ip("10.0.0.8"), g.PortTo(s3.ID, bob.ID))
+
+	// Tap the middle link to assert no real addresses appear there.
+	var midObserved []packet.FlowKey
+	n.AddTap(s2.ID, func(ev TapEvent) { midObserved = append(midObserved, ev.Pkt.Key()) })
+
+	var got *packet.Packet
+	bob.SetHandler(func(_ int, p *packet.Packet) { got = p })
+	alice.Send(0, frame(ip("10.0.0.1"), ip("10.0.0.2"), "anonymous hello"))
+	eng.Run()
+
+	if got == nil {
+		t.Fatal("Bob received nothing")
+	}
+	if got.SrcIP != ip("10.0.0.7") || got.DstIP != ip("10.0.0.8") {
+		t.Fatalf("Bob sees %v->%v, want 10.0.0.7->10.0.0.8", got.SrcIP, got.DstIP)
+	}
+	if string(got.Payload) != "anonymous hello" {
+		t.Fatalf("payload corrupted: %q", got.Payload)
+	}
+	for _, k := range midObserved {
+		if k.SrcIP == ip("10.0.0.1") || k.DstIP == ip("10.0.0.8") {
+			t.Fatalf("real address leaked at middle switch: %+v", k)
+		}
+	}
+	if len(midObserved) == 0 {
+		t.Fatal("tap observed nothing")
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	g, _ := topo.Linear(1)
+	eng := sim.New()
+	n := New(eng, g, Config{QueueCapPackets: 2, LinkBandwidthBps: 1e6}) // slow link, tiny queue
+	h1, h2 := n.Host(g.Hosts()[0]), n.Host(g.Hosts()[1])
+	s1 := n.Switch(g.Switches()[0])
+	s1.Table.Insert(&flowtable.Entry{Priority: 1, Actions: []flowtable.Action{flowtable.Output(n.Graph.PortTo(s1.ID, h2.ID))}}, 0)
+	delivered := 0
+	h2.SetHandler(func(_ int, p *packet.Packet) { delivered++ })
+	for i := 0; i < 50; i++ {
+		h1.Send(0, frame(h1.IP, h2.IP, "bulk data payload that is long enough to serialize slowly"))
+	}
+	eng.Run()
+	if n.Stats.Dropped == 0 {
+		t.Fatal("no drops despite overload")
+	}
+	if delivered == 0 || delivered >= 50 {
+		t.Fatalf("delivered = %d, want some but not all", delivered)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	g, _ := topo.Linear(1)
+	eng := sim.New()
+	n := New(eng, g, Config{LinkBandwidthBps: 8e6}) // 1 byte per microsecond
+	h1, h2 := n.Host(g.Hosts()[0]), n.Host(g.Hosts()[1])
+	s1 := n.Switch(g.Switches()[0])
+	s1.Table.Insert(&flowtable.Entry{Priority: 1, Actions: []flowtable.Action{flowtable.Output(n.Graph.PortTo(s1.ID, h2.ID))}}, 0)
+	var arrivals []sim.Time
+	h2.SetHandler(func(_ int, p *packet.Packet) { arrivals = append(arrivals, eng.Now()) })
+	p1 := frame(h1.IP, h2.IP, "aaaaaaaaaa")
+	p2 := frame(h1.IP, h2.IP, "bbbbbbbbbb")
+	h1.Send(0, p1)
+	h1.Send(0, p2)
+	eng.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	gap := time.Duration(arrivals[1] - arrivals[0])
+	wire := time.Duration(p2.WireLen()) * time.Microsecond
+	if gap != wire {
+		t.Fatalf("inter-arrival gap = %v, want serialization time %v", gap, wire)
+	}
+}
+
+func TestGroupMulticast(t *testing.T) {
+	// Star: one switch, three hosts. A group ALL entry replicates to two of
+	// them with different rewrites — the partial-multicast primitive.
+	g := topo.New()
+	s := g.AddSwitch("s1")
+	var hosts []topo.NodeID
+	for i := 0; i < 3; i++ {
+		ip, mac := addr.V4(10, 0, 0, byte(i+1)), addr.MAC(i+1)
+		h := g.AddHost("h", ip, mac)
+		g.Connect(s, h)
+		hosts = append(hosts, h)
+	}
+	eng := sim.New()
+	n := New(eng, g, Config{})
+	sw := n.Switch(s)
+	sw.Table.SetGroup(&flowtable.Group{ID: 1, Buckets: []flowtable.Bucket{
+		{Actions: []flowtable.Action{flowtable.SetIPDst(addr.V4(10, 0, 0, 2)), flowtable.Output(g.PortTo(s, hosts[1]))}},
+		{Actions: []flowtable.Action{flowtable.SetIPDst(addr.V4(10, 0, 0, 3)), flowtable.Output(g.PortTo(s, hosts[2]))}},
+	}})
+	sw.Table.Insert(&flowtable.Entry{Priority: 1, Actions: []flowtable.Action{flowtable.OutputGroup(1)}}, 0)
+
+	got := map[string]addr.IP{}
+	for i := 1; i <= 2; i++ {
+		name := string(rune('0' + i))
+		n.Host(hosts[i]).SetHandler(func(_ int, p *packet.Packet) { got[name] = p.DstIP })
+	}
+	n.Host(hosts[0]).Send(0, frame(addr.V4(10, 0, 0, 1), addr.V4(10, 0, 0, 9), "m"))
+	eng.Run()
+	if len(got) != 2 {
+		t.Fatalf("replicas delivered = %d, want 2", len(got))
+	}
+	if got["1"] != addr.V4(10, 0, 0, 2) || got["2"] != addr.V4(10, 0, 0, 3) {
+		t.Fatalf("bucket rewrites wrong: %v", got)
+	}
+}
+
+type ctrlRecorder struct {
+	ins int
+	sw  *Switch
+}
+
+func (c *ctrlRecorder) PacketIn(sw *Switch, inPort int, p *packet.Packet) {
+	c.ins++
+	c.sw = sw
+}
+
+func TestTableMissGoesToController(t *testing.T) {
+	eng, n, h1, s1, _ := linear1(t)
+	ctrl := &ctrlRecorder{}
+	n.SetController(ctrl)
+	h1.Send(0, frame(h1.IP, addr.V4(9, 9, 9, 9), "?"))
+	eng.Run()
+	if ctrl.ins != 1 || ctrl.sw != s1 {
+		t.Fatalf("PacketIn calls = %d (sw=%v)", ctrl.ins, ctrl.sw)
+	}
+}
+
+func TestTableMissWithoutControllerCounts(t *testing.T) {
+	eng, n, h1, _, _ := linear1(t)
+	h1.Send(0, frame(h1.IP, addr.V4(9, 9, 9, 9), "?"))
+	eng.Run()
+	if n.Stats.TableMiss != 1 {
+		t.Fatalf("TableMiss = %d", n.Stats.TableMiss)
+	}
+}
+
+func TestTapReceivesClone(t *testing.T) {
+	eng, n, h1, s1, h2 := linear1(t)
+	s1.Table.Insert(&flowtable.Entry{Priority: 1, Actions: []flowtable.Action{flowtable.Output(n.Graph.PortTo(s1.ID, h2.ID))}}, 0)
+	var tapped *packet.Packet
+	n.AddTap(s1.ID, func(ev TapEvent) {
+		if ev.Dir == Ingress {
+			tapped = ev.Pkt
+		}
+	})
+	var delivered *packet.Packet
+	h2.SetHandler(func(_ int, p *packet.Packet) { delivered = p })
+	h1.Send(0, frame(h1.IP, h2.IP, "secret"))
+	eng.Run()
+	if tapped == nil || delivered == nil {
+		t.Fatal("missing tap or delivery")
+	}
+	tapped.Payload[0] = 'X' // adversary mutation must not corrupt the flow
+	if delivered.Payload[0] == 'X' {
+		t.Fatal("tap shares memory with forwarded packet")
+	}
+}
+
+func TestCPUAccounting(t *testing.T) {
+	eng, n, h1, s1, h2 := linear1(t)
+	s1.Table.Insert(&flowtable.Entry{
+		Priority: 1,
+		Actions:  []flowtable.Action{flowtable.SetIPSrc(1), flowtable.SetIPDst(2), flowtable.Output(n.Graph.PortTo(s1.ID, h2.ID))},
+	}, 0)
+	h2.SetHandler(func(_ int, p *packet.Packet) {})
+	h1.Send(0, frame(h1.IP, h2.IP, "x"))
+	eng.Run()
+	wantSwitch := n.Cfg.CostSwitchPacket + 2*n.Cfg.CostSwitchAction
+	if got := n.CPU.Category("vswitch"); got != wantSwitch {
+		t.Fatalf("vswitch CPU = %v, want %v", got, wantSwitch)
+	}
+	wantStack := 2 * n.Cfg.CostHostPacket // sender + receiver
+	if got := n.CPU.Category("stack"); got != wantStack {
+		t.Fatalf("stack CPU = %v, want %v", got, wantStack)
+	}
+}
+
+func TestHostWithoutHandlerDrops(t *testing.T) {
+	eng, n, h1, s1, h2 := linear1(t)
+	s1.Table.Insert(&flowtable.Entry{Priority: 1, Actions: []flowtable.Action{flowtable.Output(n.Graph.PortTo(s1.ID, h2.ID))}}, 0)
+	h1.Send(0, frame(h1.IP, h2.IP, "x"))
+	eng.Run()
+	if n.Stats.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", n.Stats.Dropped)
+	}
+}
+
+func TestLinkTxBytes(t *testing.T) {
+	eng, n, h1, _, _ := linear1(t)
+	p := frame(h1.IP, addr.V4(9, 9, 9, 9), "count me")
+	h1.Send(0, p)
+	eng.Run()
+	if got := n.LinkTxBytes(h1.ID, 0); got != uint64(p.WireLen()) {
+		t.Fatalf("LinkTxBytes = %d, want %d", got, p.WireLen())
+	}
+	if n.Stats.TxBytes != uint64(p.WireLen()) {
+		t.Fatalf("Stats.TxBytes = %d", n.Stats.TxBytes)
+	}
+}
+
+func TestHostByIP(t *testing.T) {
+	_, n, h1, _, _ := linear1(t)
+	if n.HostByIP(h1.IP) != h1 {
+		t.Fatal("HostByIP failed")
+	}
+	if n.HostByIP(addr.V4(1, 1, 1, 1)) != nil {
+		t.Fatal("HostByIP invented a host")
+	}
+}
+
+func BenchmarkForwardOneHop(b *testing.B) {
+	g, _ := topo.Linear(1)
+	eng := sim.New()
+	n := New(eng, g, Config{})
+	h1, h2 := n.Host(g.Hosts()[0]), n.Host(g.Hosts()[1])
+	s1 := n.Switch(g.Switches()[0])
+	s1.Table.Insert(&flowtable.Entry{Priority: 1, Actions: []flowtable.Action{flowtable.Output(n.Graph.PortTo(s1.ID, h2.ID))}}, 0)
+	h2.SetHandler(func(_ int, p *packet.Packet) {})
+	p := frame(h1.IP, h2.IP, "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h1.Send(0, p.Clone())
+		eng.Run()
+	}
+}
+
+func TestSetLinkDownBlackHoles(t *testing.T) {
+	eng, n, h1, s1, h2 := linear1(t)
+	s1.Table.Insert(&flowtable.Entry{Priority: 1, Actions: []flowtable.Action{flowtable.Output(n.Graph.PortTo(s1.ID, h2.ID))}}, 0)
+	delivered := 0
+	h2.SetHandler(func(int, *packet.Packet) { delivered++ })
+	n.SetLinkDown(h1.ID, 0, true)
+	if !n.LinkDown(h1.ID, 0) {
+		t.Fatal("LinkDown not reported")
+	}
+	h1.Send(0, frame(h1.IP, h2.IP, "x"))
+	eng.Run()
+	if delivered != 0 || n.Stats.LostDown != 1 {
+		t.Fatalf("delivered=%d lostDown=%d", delivered, n.Stats.LostDown)
+	}
+	// Restore: traffic flows again.
+	n.SetLinkDown(h1.ID, 0, false)
+	h1.Send(0, frame(h1.IP, h2.IP, "y"))
+	eng.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered=%d after restore", delivered)
+	}
+}
+
+func TestSetSwitchDownBlackHoles(t *testing.T) {
+	eng, n, h1, s1, h2 := linear1(t)
+	s1.Table.Insert(&flowtable.Entry{Priority: 1, Actions: []flowtable.Action{flowtable.Output(n.Graph.PortTo(s1.ID, h2.ID))}}, 0)
+	delivered := 0
+	h2.SetHandler(func(int, *packet.Packet) { delivered++ })
+	n.SetSwitchDown(s1.ID, true)
+	h1.Send(0, frame(h1.IP, h2.IP, "x"))
+	eng.Run()
+	if delivered != 0 {
+		t.Fatal("failed switch forwarded traffic")
+	}
+	n.SetSwitchDown(s1.ID, false)
+	h1.Send(0, frame(h1.IP, h2.IP, "y"))
+	eng.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered=%d after restore", delivered)
+	}
+}
+
+func TestLossInjectionDeterministic(t *testing.T) {
+	run := func() uint64 {
+		g, _ := topo.Linear(1)
+		eng := sim.New()
+		n := New(eng, g, Config{LossRate: 0.3, LossSeed: 5})
+		h1, h2 := n.Host(g.Hosts()[0]), n.Host(g.Hosts()[1])
+		s1 := n.Switch(g.Switches()[0])
+		s1.Table.Insert(&flowtable.Entry{Priority: 1, Actions: []flowtable.Action{flowtable.Output(n.Graph.PortTo(s1.ID, h2.ID))}}, 0)
+		h2.SetHandler(func(int, *packet.Packet) {})
+		for i := 0; i < 100; i++ {
+			h1.Send(0, frame(h1.IP, h2.IP, "z"))
+		}
+		eng.Run()
+		return n.Stats.Dropped
+	}
+	a, b := run(), run()
+	if a == 0 {
+		t.Fatal("no losses at 30% rate")
+	}
+	if a != b {
+		t.Fatalf("loss injection nondeterministic: %d vs %d", a, b)
+	}
+}

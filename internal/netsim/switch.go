@@ -1,0 +1,99 @@
+package netsim
+
+import (
+	"time"
+
+	"mic/internal/flowtable"
+	"mic/internal/packet"
+	"mic/internal/topo"
+)
+
+// Switch is the runtime of one switch node: an OpenFlow table driven by the
+// fabric. Any switch can serve as a Mimic Node — MNs are distinguished only
+// by the rewrite rules the Mimic Controller installs, exactly as in the
+// paper ("any switches in the network are potential MNs").
+type Switch struct {
+	net  *Network
+	ID   topo.NodeID
+	Name string
+
+	Table *flowtable.Table
+	Ctrl  Controller
+
+	// Down marks a failed switch: it black-holes all traffic.
+	Down bool
+
+	// Counters.
+	RxPackets uint64
+	TxPackets uint64
+	Misses    uint64
+}
+
+// recv runs the pipeline for one arriving packet.
+func (s *Switch) recv(inPort int, p *packet.Packet) {
+	if s.Down {
+		s.net.Stats.LostDown++
+		return
+	}
+	s.RxPackets++
+	s.net.CPU.Charge("vswitch", s.net.Cfg.CostSwitchPacket)
+	entry := s.Table.Lookup(p, inPort, s.net.Eng.Now())
+	if entry == nil {
+		s.Misses++
+		if s.Ctrl != nil {
+			s.Ctrl.PacketIn(s, inPort, p)
+			return
+		}
+		s.net.Stats.TableMiss++
+		return
+	}
+	s.Execute(entry.Actions, inPort, p)
+}
+
+// Execute applies an action list to p after the configured forwarding
+// latency. OpenFlow semantics: set-field actions mutate the packet in
+// order; each Output forwards the packet as rewritten so far; OutputGroup
+// clones the packet per bucket (type ALL) — the primitive behind MIC's
+// partial multicast.
+func (s *Switch) Execute(actions []flowtable.Action, inPort int, p *packet.Packet) {
+	s.net.Eng.After(s.net.Cfg.SwitchLatency, func() {
+		s.run(actions, inPort, p)
+	})
+}
+
+// run applies actions immediately (forwarding latency already paid).
+func (s *Switch) run(actions []flowtable.Action, inPort int, p *packet.Packet) {
+	if mut := flowtable.MutationCount(actions); mut > 0 {
+		s.net.CPU.Charge("vswitch", time.Duration(mut)*s.net.Cfg.CostSwitchAction)
+	}
+	for _, a := range actions {
+		switch act := a.(type) {
+		case flowtable.Output:
+			s.TxPackets++
+			s.net.Stats.Forwarded++
+			s.net.send(s.ID, int(act), p.Clone())
+		case flowtable.OutputGroup:
+			g, ok := s.Table.Group(flowtable.GroupID(act))
+			if !ok {
+				continue
+			}
+			for _, bucket := range g.Buckets {
+				s.run(bucket.Actions, inPort, p.Clone())
+			}
+		default:
+			a.Apply(p)
+		}
+	}
+}
+
+// FloodExcept sends p out of every port except the one it arrived on. Used
+// by the learning baseline controller, not by MIC.
+func (s *Switch) FloodExcept(inPort int, p *packet.Packet) {
+	for port := range s.net.Graph.Node(s.ID).Ports {
+		if port != inPort {
+			s.TxPackets++
+			s.net.Stats.Forwarded++
+			s.net.send(s.ID, port, p.Clone())
+		}
+	}
+}

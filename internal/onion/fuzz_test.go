@@ -1,0 +1,35 @@
+package onion
+
+import "testing"
+
+// FuzzCellParser checks the fixed-size cell reassembler never panics and
+// never emits more cells than the input could contain.
+func FuzzCellParser(f *testing.F) {
+	c := cell{circID: 7, cmd: cmdRelay}
+	f.Add(c.marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, CellSize-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p cellParser
+		cells := 0
+		p.feed(data, func(cell) { cells++ })
+		if cells > len(data)/CellSize {
+			t.Fatalf("emitted %d cells from %d bytes", cells, len(data))
+		}
+	})
+}
+
+// FuzzOpenBlob checks layer recognition is total on arbitrary blobs.
+func FuzzOpenBlob(f *testing.F) {
+	good := relayBlob(relayData, []byte("x"))
+	f.Add(good[:])
+	f.Add(make([]byte, blobLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var blob [blobLen]byte
+		copy(blob[:], data)
+		cmd, payload, ok := openBlob(&blob)
+		if ok && len(payload) > MaxCellData {
+			t.Fatalf("accepted oversized payload %d (cmd %d)", len(payload), cmd)
+		}
+	})
+}

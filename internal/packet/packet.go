@@ -1,0 +1,250 @@
+// Package packet models the frames that traverse the simulated data center
+// network: an Ethernet header, an optional MPLS label stack, an IPv4 header
+// and a TCP-like transport header, plus an opaque payload.
+//
+// The layout mirrors what MIC manipulates on real switches: Mimic Nodes
+// rewrite MAC/IP/port fields and push, set or pop MPLS labels; everything
+// else rides along untouched. Packets serialize to a compact wire format so
+// tests can assert that header rewriting never corrupts adjacent fields.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mic/internal/addr"
+)
+
+// EtherType values used by the simulator.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeMPLS uint16 = 0x8847
+)
+
+// TCP-style flag bits.
+const (
+	FlagSYN uint8 = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+	FlagPSH
+)
+
+// Header byte sizes on the wire.
+const (
+	EthHeaderLen  = 14
+	MPLSEntryLen  = 4
+	IPv4HeaderLen = 20
+	L4HeaderLen   = 20
+)
+
+// Packet is one frame. Fields are exported for direct manipulation by the
+// data plane; use Clone before mutating a packet that another component may
+// still observe (e.g. multicast replication).
+type Packet struct {
+	// Ethernet
+	SrcMAC, DstMAC addr.MAC
+
+	// MPLS label stack, outermost first. Empty means no MPLS headers.
+	MPLS []addr.Label
+
+	// IPv4
+	SrcIP, DstIP addr.IP
+	Proto        uint8
+	TTL          uint8
+
+	// Transport (TCP-like)
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+
+	Payload []byte
+}
+
+// IP protocol numbers.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// WireLen returns the frame's size in bytes as it would appear on a link.
+func (p *Packet) WireLen() int {
+	return EthHeaderLen + MPLSEntryLen*len(p.MPLS) + IPv4HeaderLen + L4HeaderLen + len(p.Payload)
+}
+
+// Clone returns a deep copy of p. The payload bytes are copied too, so the
+// clone can be rewritten independently (needed for partial multicast).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if len(p.MPLS) > 0 {
+		q.MPLS = append([]addr.Label(nil), p.MPLS...)
+	}
+	if len(p.Payload) > 0 {
+		q.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &q
+}
+
+// PushMPLS prepends a label to the stack.
+func (p *Packet) PushMPLS(l addr.Label) { p.MPLS = append([]addr.Label{l}, p.MPLS...) }
+
+// PopMPLS removes and returns the outermost label. ok is false if the stack
+// is empty.
+func (p *Packet) PopMPLS() (l addr.Label, ok bool) {
+	if len(p.MPLS) == 0 {
+		return 0, false
+	}
+	l = p.MPLS[0]
+	p.MPLS = p.MPLS[1:]
+	return l, true
+}
+
+// TopMPLS returns the outermost label without removing it.
+func (p *Packet) TopMPLS() (l addr.Label, ok bool) {
+	if len(p.MPLS) == 0 {
+		return 0, false
+	}
+	return p.MPLS[0], true
+}
+
+// String summarizes the frame for logs and test failures.
+func (p *Packet) String() string {
+	m := ""
+	if len(p.MPLS) > 0 {
+		m = fmt.Sprintf(" mpls%v", p.MPLS)
+	}
+	return fmt.Sprintf("[%v->%v%s %v:%d->%v:%d seq=%d ack=%d fl=%02x len=%d]",
+		p.SrcMAC, p.DstMAC, m, p.SrcIP, p.SrcPort, p.DstIP, p.DstPort, p.Seq, p.Ack, p.Flags, len(p.Payload))
+}
+
+// FlowKey identifies a flow at a switch by the three-tuple the paper uses:
+// source IP, destination IP and the outermost MPLS label (NoLabel when the
+// packet carries none). Two packets with equal FlowKeys are indistinguishable
+// to the routing match logic, which is exactly the collision condition the
+// paper's Collision Avoidance Mechanism must prevent.
+type FlowKey struct {
+	SrcIP, DstIP addr.IP
+	Label        addr.Label
+}
+
+// NoLabel marks the absence of an MPLS header in a FlowKey. It is outside
+// the valid 20-bit label range.
+const NoLabel addr.Label = 1 << 20
+
+// Key extracts the packet's FlowKey.
+func (p *Packet) Key() FlowKey {
+	k := FlowKey{SrcIP: p.SrcIP, DstIP: p.DstIP, Label: NoLabel}
+	if l, ok := p.TopMPLS(); ok {
+		k.Label = l
+	}
+	return k
+}
+
+// FiveTuple identifies a transport connection end to end.
+type FiveTuple struct {
+	SrcIP, DstIP     addr.IP
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Tuple extracts the packet's FiveTuple.
+func (p *Packet) Tuple() FiveTuple {
+	return FiveTuple{SrcIP: p.SrcIP, DstIP: p.DstIP, SrcPort: p.SrcPort, DstPort: p.DstPort, Proto: p.Proto}
+}
+
+// Reverse returns the tuple with endpoints swapped, i.e. the key of packets
+// flowing the other way on the same connection.
+func (t FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{SrcIP: t.DstIP, DstIP: t.SrcIP, SrcPort: t.DstPort, DstPort: t.SrcPort, Proto: t.Proto}
+}
+
+// Marshal serializes the frame to its wire format.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, 0, p.WireLen())
+	src, dst := p.SrcMAC.Bytes(), p.DstMAC.Bytes()
+	buf = append(buf, dst[:]...)
+	buf = append(buf, src[:]...)
+	ethType := EtherTypeIPv4
+	if len(p.MPLS) > 0 {
+		ethType = EtherTypeMPLS
+	}
+	buf = binary.BigEndian.AppendUint16(buf, ethType)
+	for i, l := range p.MPLS {
+		entry := uint32(l) << 12 // label[31:12] tc[11:9] s[8] ttl[7:0]
+		if i == len(p.MPLS)-1 {
+			entry |= 1 << 8 // bottom of stack
+		}
+		entry |= uint32(p.TTL)
+		buf = binary.BigEndian.AppendUint32(buf, entry)
+	}
+	buf = append(buf, 0x45, 0) // version+IHL, DSCP
+	buf = binary.BigEndian.AppendUint16(buf, uint16(IPv4HeaderLen+L4HeaderLen+len(p.Payload)))
+	buf = append(buf, 0, 0, 0, 0) // ID, flags+fragment offset
+	buf = append(buf, p.TTL, p.Proto, 0, 0)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.SrcIP))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.DstIP))
+	buf = binary.BigEndian.AppendUint16(buf, p.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, p.DstPort)
+	buf = binary.BigEndian.AppendUint32(buf, p.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, p.Ack)
+	buf = append(buf, p.Flags, 0)
+	buf = binary.BigEndian.AppendUint16(buf, p.Window)
+	buf = append(buf, 0, 0, 0, 0) // checksum, urgent (unused in simulation)
+	buf = append(buf, p.Payload...)
+	return buf
+}
+
+// Unmarshal parses a frame produced by Marshal.
+func Unmarshal(b []byte) (*Packet, error) {
+	if len(b) < EthHeaderLen {
+		return nil, fmt.Errorf("packet: truncated Ethernet header (%d bytes)", len(b))
+	}
+	p := &Packet{}
+	var dst, src [6]byte
+	copy(dst[:], b[0:6])
+	copy(src[:], b[6:12])
+	p.DstMAC = addr.MACFromBytes(dst)
+	p.SrcMAC = addr.MACFromBytes(src)
+	ethType := binary.BigEndian.Uint16(b[12:14])
+	b = b[14:]
+	if ethType == EtherTypeMPLS {
+		for {
+			if len(b) < MPLSEntryLen {
+				return nil, fmt.Errorf("packet: truncated MPLS stack")
+			}
+			entry := binary.BigEndian.Uint32(b[:4])
+			b = b[4:]
+			p.MPLS = append(p.MPLS, addr.Label(entry>>12))
+			if entry&(1<<8) != 0 {
+				break
+			}
+		}
+	} else if ethType != EtherTypeIPv4 {
+		return nil, fmt.Errorf("packet: unsupported EtherType %#04x", ethType)
+	}
+	if len(b) < IPv4HeaderLen+L4HeaderLen {
+		return nil, fmt.Errorf("packet: truncated IP/L4 headers (%d bytes)", len(b))
+	}
+	totalLen := int(binary.BigEndian.Uint16(b[2:4]))
+	p.TTL = b[8]
+	p.Proto = b[9]
+	p.SrcIP = addr.IP(binary.BigEndian.Uint32(b[12:16]))
+	p.DstIP = addr.IP(binary.BigEndian.Uint32(b[16:20]))
+	b = b[IPv4HeaderLen:]
+	p.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	p.DstPort = binary.BigEndian.Uint16(b[2:4])
+	p.Seq = binary.BigEndian.Uint32(b[4:8])
+	p.Ack = binary.BigEndian.Uint32(b[8:12])
+	p.Flags = b[12]
+	p.Window = binary.BigEndian.Uint16(b[14:16])
+	b = b[L4HeaderLen:]
+	payloadLen := totalLen - IPv4HeaderLen - L4HeaderLen
+	if payloadLen < 0 || payloadLen > len(b) {
+		return nil, fmt.Errorf("packet: bad total length %d", totalLen)
+	}
+	if payloadLen > 0 {
+		p.Payload = append([]byte(nil), b[:payloadLen]...)
+	}
+	return p, nil
+}

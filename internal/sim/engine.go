@@ -1,0 +1,153 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in the order they were scheduled, so a
+// run is a pure function of its inputs and RNG seeds. All network, protocol
+// and adversary code in this repository executes inside a single Engine;
+// parallelism is obtained by running independent engines (one per trial) on
+// separate goroutines, never by sharing one engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Duration mirrors time.Duration so call sites can use familiar literals
+// (e.g. 5*sim.Microsecond) without importing package time.
+type Duration = time.Duration
+
+// Convenience re-exports of common units.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// MaxTime is the largest representable virtual timestamp.
+const MaxTime = Time(math.MaxInt64)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the timestamp as a duration from the epoch.
+func (t Time) String() string { return Duration(t).String() }
+
+type event struct {
+	at  Time
+	seq uint64 // schedule order; breaks ties deterministically
+	do  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// ready to use. An Engine must not be accessed from multiple goroutines.
+type Engine struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	stopped bool
+	ran     uint64
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have fired so far.
+func (e *Engine) Processed() uint64 { return e.ran }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules do to run at virtual time t. Scheduling in the past panics:
+// it always indicates a protocol bug, and silently reordering time would
+// invalidate every measurement downstream.
+func (e *Engine) At(t Time, do func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, &event{at: t, seq: e.seq, do: do})
+}
+
+// After schedules do to run d from now. Negative d is clamped to zero.
+func (e *Engine) After(d Duration, do func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), do)
+}
+
+// Stop makes Run and RunUntil return after the currently firing event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the next event, if any, and reports whether one fired.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(*event)
+	e.now = ev.at
+	e.ran++
+	ev.do()
+	return true
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the clock
+// to deadline (if the queue drained earlier) and returns.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.heap) == 0 || e.heap[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor is shorthand for RunUntil(Now().Add(d)).
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }

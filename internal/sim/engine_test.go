@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			e.After(7*Nanosecond, tick)
+		}
+	}
+	e.After(0, tick)
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if e.Now() != 63 {
+		t.Fatalf("Now() = %d, want 63", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	for i := Time(10); i <= 100; i += 10 {
+		e.At(i, func() { fired++ })
+	}
+	e.RunUntil(50)
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now() = %v, want 50", e.Now())
+	}
+	e.RunUntil(200)
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10", fired)
+	}
+	if e.Now() != 200 {
+		t.Fatalf("Now() = %v after drain, want 200", e.Now())
+	}
+}
+
+func TestEngineRunUntilDoesNotOvershoot(t *testing.T) {
+	e := New()
+	ran := false
+	e.At(100, func() { ran = true })
+	e.RunUntil(99)
+	if ran {
+		t.Fatal("event after deadline fired")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := New()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() {
+			fired++
+			if fired == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+	e.Run() // resumes
+	if fired != 10 {
+		t.Fatalf("fired after resume = %d, want 10", fired)
+	}
+}
+
+func TestEngineNegativeAfterClamped(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		e.After(-5, func() {})
+	})
+	e.Run() // must not panic
+}
+
+func TestEngineProcessed(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 5 {
+		t.Fatalf("Processed() = %d, want 5", e.Processed())
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(0).Add(3 * Second)
+	if tm != 3e9 {
+		t.Fatalf("Add = %d", tm)
+	}
+	if tm.Sub(Time(1e9)) != 2*Second {
+		t.Fatalf("Sub = %v", tm.Sub(Time(1e9)))
+	}
+	if tm.Seconds() != 3 {
+		t.Fatalf("Seconds = %v", tm.Seconds())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide too often: %d/1000", same)
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	root := NewRNG(7)
+	s1 := root.Stream("alpha")
+	root2 := NewRNG(7)
+	s2 := root2.Stream("alpha")
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatal("same-label streams diverged")
+		}
+	}
+	s3 := NewRNG(7).Stream("beta")
+	s4 := NewRNG(7).Stream("alpha")
+	if s3.Uint64() == s4.Uint64() {
+		t.Fatal("distinct labels produced identical first draw")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for n := 1; n <= 64; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := NewRNG(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	sum := 0.0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := NewRNG(9)
+	xs := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(r, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Pick never chose some elements: %v", seen)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < 1000 {
+				e.After(Nanosecond, tick)
+			}
+		}
+		e.After(0, tick)
+		e.Run()
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

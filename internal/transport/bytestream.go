@@ -1,0 +1,16 @@
+package transport
+
+// ByteStream is the byte-pipe abstraction shared by plain connections and
+// SSL connections. The MIC client library runs identically over either,
+// which is how the paper evaluates both MIC-TCP and MIC-SSL.
+type ByteStream interface {
+	Send(data []byte)
+	OnData(fn func([]byte))
+	OnClose(fn func())
+	Close()
+}
+
+var (
+	_ ByteStream = (*Conn)(nil)
+	_ ByteStream = (*SecureConn)(nil)
+)
