@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"mic/internal/chaos"
 	"mic/internal/harness"
 	"mic/internal/mic"
 	"mic/internal/netsim"
@@ -24,15 +25,16 @@ import (
 
 func main() {
 	var (
-		scheme  = flag.String("scheme", "mic-tcp", "tcp | ssl | mic-tcp | mic-ssl | tor")
-		mns     = flag.Int("mns", 3, "Mimic Nodes per m-flow (MIC) / relays (Tor)")
-		mflows  = flag.Int("mflows", 1, "m-flows per channel (MIC)")
-		fanout  = flag.Int("fanout", 1, "partial-multicast fanout (MIC)")
-		size    = flag.Int("size", 4<<20, "bytes to transfer")
-		from    = flag.Int("from", 0, "initiator host index (0-15)")
-		to      = flag.Int("to", 15, "responder host index (0-15)")
-		seed    = flag.Uint64("seed", 1, "RNG seed")
-		latency = flag.Bool("latency", false, "also measure 10-byte ping-pong latency")
+		scheme   = flag.String("scheme", "mic-tcp", "tcp | ssl | mic-tcp | mic-ssl | tor")
+		mns      = flag.Int("mns", 3, "Mimic Nodes per m-flow (MIC) / relays (Tor)")
+		mflows   = flag.Int("mflows", 1, "m-flows per channel (MIC)")
+		fanout   = flag.Int("fanout", 1, "partial-multicast fanout (MIC)")
+		size     = flag.Int("size", 4<<20, "bytes to transfer")
+		from     = flag.Int("from", 0, "initiator host index (0-15)")
+		to       = flag.Int("to", 15, "responder host index (0-15)")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		latency  = flag.Bool("latency", false, "also measure 10-byte ping-pong latency")
+		scenario = flag.String("scenario", "", "fault scenario: chaos (MIC schemes only)")
 	)
 	flag.Parse()
 
@@ -43,6 +45,19 @@ func main() {
 	}
 	if *from == *to || *from < 0 || *to < 0 || *from > 15 || *to > 15 {
 		fmt.Fprintln(os.Stderr, "micsim: -from and -to must be distinct host indices in 0..15")
+		os.Exit(2)
+	}
+	switch *scenario {
+	case "":
+	case "chaos":
+		if s != harness.SchemeMICTCP && s != harness.SchemeMICSSL {
+			fmt.Fprintln(os.Stderr, "micsim: -scenario chaos needs a MIC scheme (self-healing lives in the MC)")
+			os.Exit(2)
+		}
+		runChaos(s == harness.SchemeMICSSL, *from, *to, *mns, *mflows, *fanout, *size, *seed)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "micsim: unknown scenario %q\n", *scenario)
 		os.Exit(2)
 	}
 
@@ -138,4 +153,80 @@ func runMIC(secure bool, from, to, mns, mflows, fanout, size int, seed uint64) {
 	for i, f := range info.Flows {
 		fmt.Printf("m-flow %d: entry=%v path=%s MNs=%d\n", i, f.Entry, f.Path.Render(g), len(f.MNs))
 	}
+}
+
+// runChaos plays the standard five-act fault storm against a MIC transfer
+// with auto-repair enabled and reports what the control plane did about it.
+func runChaos(secure bool, from, to, mns, mflows, fanout, size int, seed uint64) {
+	g, err := topo.FatTree(4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	mc, err := mic.NewMC(net, mic.Config{
+		MNs: mns, MFlows: mflows, MulticastFanout: fanout, Seed: seed,
+		AutoRepair: true, RepairMaxRetries: 20,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var stacks []*transport.Stack
+	for _, hid := range g.Hosts() {
+		stacks = append(stacks, transport.NewStack(net.Host(hid)))
+	}
+	got := 0
+	var start, end sim.Time
+	mic.Listen(stacks[to], 80, secure, func(s *mic.Stream) {
+		s.OnData(func(b []byte) {
+			got += len(b)
+			if got >= size {
+				end = eng.Now()
+			}
+		})
+	})
+	client := mic.NewClient(stacks[from], mc)
+	client.Secure = secure
+	data := make([]byte, size)
+	client.Dial(stacks[to].Host.IP.String(), 80, func(s *mic.Stream, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start = eng.Now()
+		s.Send(data)
+	})
+
+	sched, err := chaos.Scenario(g, seed, chaos.ScenarioConfig{From: g.Hosts()[from], To: g.Hosts()[to]})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("chaos schedule (seed %d):\n%s", seed, sched.Render(g))
+	runner := chaos.NewRunner(net, mc.Ch)
+	runner.OnFault = func(f chaos.Fault) {
+		fmt.Printf("%12v  fault  %s\n", time.Duration(eng.Now()), f.Kind)
+	}
+	mc.OnRepair = func(ev mic.RepairEvent) {
+		verdict := "repaired"
+		if ev.Err != nil {
+			verdict = "FAILED: " + ev.Err.Error()
+		}
+		fmt.Printf("%12v  repair channel %d attempts=%d latency=%v %s\n",
+			time.Duration(ev.CompletedAt), ev.Channel, ev.Attempts, ev.CompletedAt.Sub(ev.DetectedAt), verdict)
+	}
+	runner.Play(sched)
+
+	eng.Run()
+	if got < size {
+		fmt.Fprintf(os.Stderr, "micsim: transfer incomplete (%d/%d bytes)\n", got, size)
+		os.Exit(1)
+	}
+	wall := time.Duration(end - start)
+	fmt.Printf("delivered %d bytes in %v (%.1f Mbps) through %d faults\n",
+		got, wall, float64(size)*8/wall.Seconds()/1e6, len(runner.Applied))
+	fmt.Printf("repairs=%d repair-failures=%d retransmits=%d timeouts=%d give-ups=%d\n",
+		mc.Repairs, mc.RepairFailures, mc.Ch.Retransmits, mc.Ch.Timeouts, mc.Ch.GiveUps)
 }

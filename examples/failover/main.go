@@ -1,8 +1,10 @@
-// Failover: the Mimic Controller's global view in action. A bulk transfer
-// runs over a mimic channel; mid-transfer a link on the m-flow's path is
-// cut. The MC repairs the channel around the failure — keeping the
-// endpoint-visible addresses, so the TCP connection inside the channel
-// never notices beyond a retransmission burst — and the transfer completes.
+// Failover: the Mimic Controller's self-healing control plane in action. A
+// bulk transfer runs over a mimic channel; mid-transfer a link on the
+// m-flow's path is cut. Nobody calls RepairChannel: the fabric's port-down
+// event reaches the MC, which finds every channel crossing the dead link
+// and repairs it around the failure — keeping the endpoint-visible
+// addresses, so the TCP connection inside the channel never notices beyond
+// a retransmission burst — and the transfer completes.
 package main
 
 import (
@@ -24,13 +26,21 @@ func main() {
 	}
 	eng := sim.New()
 	net := netsim.New(eng, graph, netsim.Config{})
-	mc, err := mic.NewMC(net, mic.Config{MNs: 3})
+	mc, err := mic.NewMC(net, mic.Config{MNs: 3, AutoRepair: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 	hosts := graph.Hosts()
 	src := transport.NewStack(net.Host(hosts[0]))
 	dst := transport.NewStack(net.Host(hosts[15]))
+
+	mc.OnRepair = func(ev mic.RepairEvent) {
+		if ev.Err != nil {
+			log.Fatalf("repair failed: %v", ev.Err)
+		}
+		fmt.Printf("channel %d self-healed at t=%v: detection->repair latency %v in %d attempt(s)\n",
+			ev.Channel, ev.CompletedAt, ev.CompletedAt.Sub(ev.DetectedAt), ev.Attempts)
+	}
 
 	const size = 1 << 20
 	got := 0
@@ -54,7 +64,8 @@ func main() {
 	})
 
 	// Let roughly a third of the transfer through, then cut a switch-to-
-	// switch link on the path.
+	// switch link on the path. That is ALL this example does to the control
+	// plane — detection and repair are the MC's job now.
 	eng.RunFor(4 * time.Millisecond)
 	info, _ := client.Channel(target)
 	path := info.Flows[0].Path
@@ -67,34 +78,17 @@ func main() {
 			break
 		}
 	}
+	peer := graph.Node(cutFrom).Ports[cutPort].Peer
 	fmt.Printf("cutting link %s -> %s at t=%v (transferred %d/%d bytes)\n",
-		graph.Node(cutFrom).Name, graph.Node(path[indexOf(path, cutFrom)+1]).Name, eng.Now(), got, size)
+		graph.Node(cutFrom).Name, graph.Node(peer).Name, eng.Now(), got, size)
 	net.SetLinkDown(cutFrom, cutPort, true)
-
-	// The MC notices (in a real deployment, via port-down events) and
-	// repairs the channel around the failure.
-	mc.RepairChannel(info.ID, func(err error) {
-		if err != nil {
-			log.Fatalf("repair failed: %v", err)
-		}
-		fmt.Printf("channel repaired at t=%v\n", eng.Now())
-		fmt.Printf("path after repair:   %s\n", info.Flows[0].Path.Render(graph))
-	})
 
 	eng.Run()
 	if got < size {
 		log.Fatalf("transfer incomplete: %d/%d (black-holed: %d packets)", got, size, net.Stats.LostDown)
 	}
+	fmt.Printf("path after repair:   %s\n", info.Flows[0].Path.Render(graph))
 	fmt.Printf("transfer completed at t=%v; %d packets were black-holed during the outage\n",
 		doneAt, net.Stats.LostDown)
 	fmt.Println("the endpoints kept their addresses: the connection survived transparently")
-}
-
-func indexOf(p topo.Path, n topo.NodeID) int {
-	for i, v := range p {
-		if v == n {
-			return i
-		}
-	}
-	return -1
 }

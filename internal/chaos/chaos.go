@@ -1,0 +1,383 @@
+// Package chaos injects deterministic fault schedules into the simulated
+// fabric: link cuts and flaps, switch crashes and restarts, southbound
+// control-channel degradation, and correlated whole-pod failures. A
+// Schedule is data — reproducible from a seed, printable, and replayable —
+// and a Runner turns it into SetLinkDown/SetSwitchDown/LossRate calls at
+// the scheduled virtual times. Tests and the micsim chaos scenario use it
+// to assert that MIC's self-healing control plane keeps transfers alive
+// through arbitrary (survivable) fault storms.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mic/internal/ctrlplane"
+	"mic/internal/netsim"
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+// Kind enumerates fault types.
+type Kind int
+
+const (
+	// LinkCut severs the cable attached to (Node, Port); LinkRestore heals
+	// it. A cut immediately followed by a restore is a flap.
+	LinkCut Kind = iota
+	LinkRestore
+	// SwitchCrash takes a whole switch dark (data and control plane);
+	// SwitchRestart brings it back with whatever rules it held.
+	SwitchCrash
+	SwitchRestart
+	// ControlLoss sets the southbound channel's message loss rate to Loss
+	// (use 0 to end the degradation window).
+	ControlLoss
+	// PodCrash crashes every switch of fat-tree pod Pod at once — the
+	// correlated failure a shared power feed or top-of-pod PDU causes.
+	// PodRestart restores them all.
+	PodCrash
+	PodRestart
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkCut:
+		return "link-cut"
+	case LinkRestore:
+		return "link-restore"
+	case SwitchCrash:
+		return "switch-crash"
+	case SwitchRestart:
+		return "switch-restart"
+	case ControlLoss:
+		return "control-loss"
+	case PodCrash:
+		return "pod-crash"
+	case PodRestart:
+		return "pod-restart"
+	}
+	return fmt.Sprintf("chaos.Kind(%d)", int(k))
+}
+
+// Fault is one scheduled fault. Which fields matter depends on Kind:
+// link faults use Node/Port, switch faults use Node, pod faults use Pod,
+// and ControlLoss uses Loss.
+type Fault struct {
+	At   time.Duration // offset from the moment the schedule starts playing
+	Kind Kind
+	Node topo.NodeID
+	Port int
+	Pod  int
+	Loss float64
+}
+
+func (f Fault) render(g *topo.Graph) string {
+	switch f.Kind {
+	case LinkCut, LinkRestore:
+		peer := g.Node(f.Node).Ports[f.Port].Peer
+		return fmt.Sprintf("%v %s %s<->%s", f.At, f.Kind, g.Node(f.Node).Name, g.Node(peer).Name)
+	case SwitchCrash, SwitchRestart:
+		return fmt.Sprintf("%v %s %s", f.At, f.Kind, g.Node(f.Node).Name)
+	case ControlLoss:
+		return fmt.Sprintf("%v %s rate=%.2f", f.At, f.Kind, f.Loss)
+	case PodCrash, PodRestart:
+		return fmt.Sprintf("%v %s pod%d", f.At, f.Kind, f.Pod)
+	}
+	return fmt.Sprintf("%v %s", f.At, f.Kind)
+}
+
+// Schedule is a fault sequence ordered by At.
+type Schedule []Fault
+
+// Render pretty-prints the schedule with topology names resolved.
+func (s Schedule) Render(g *topo.Graph) string {
+	var b strings.Builder
+	for _, f := range s {
+		b.WriteString("  ")
+		b.WriteString(f.render(g))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (s Schedule) sorted() Schedule {
+	out := append(Schedule(nil), s...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Kinds returns the distinct fault kinds the schedule contains.
+func (s Schedule) Kinds() []Kind {
+	seen := map[Kind]bool{}
+	var out []Kind
+	for _, f := range s {
+		if !seen[f.Kind] {
+			seen[f.Kind] = true
+			out = append(out, f.Kind)
+		}
+	}
+	return out
+}
+
+// Pod membership is recovered from the fat-tree builder's naming scheme
+// ("agg<pod>_<i>", "edge<pod>_<i>"); chaos only targets pods on fat trees.
+
+// podOf returns the pod number encoded in a switch name, or 0.
+func podOf(name string) int {
+	var rest string
+	switch {
+	case strings.HasPrefix(name, "agg"):
+		rest = name[3:]
+	case strings.HasPrefix(name, "edge"):
+		rest = name[4:]
+	default:
+		return 0
+	}
+	var pod, i int
+	if _, err := fmt.Sscanf(rest, "%d_%d", &pod, &i); err != nil {
+		return 0
+	}
+	return pod
+}
+
+// PodSwitches returns every switch of fat-tree pod (1-based).
+func PodSwitches(g *topo.Graph, pod int) []topo.NodeID {
+	var out []topo.NodeID
+	for _, id := range g.Switches() {
+		if podOf(g.Node(id).Name) == pod {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// PodOfHost returns the pod a host lives in (via its edge switch), or 0.
+func PodOfHost(g *topo.Graph, host topo.NodeID) int {
+	n := g.Node(host)
+	if n.Kind != topo.KindHost || len(n.Ports) == 0 {
+		return 0
+	}
+	return podOf(g.Node(n.Ports[0].Peer).Name)
+}
+
+// switchesByPrefix collects switches whose name starts with prefix,
+// optionally restricted to one pod (0 = any).
+func switchesByPrefix(g *topo.Graph, prefix string, pod int) []topo.NodeID {
+	var out []topo.NodeID
+	for _, id := range g.Switches() {
+		name := g.Node(id).Name
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if pod != 0 && podOf(name) != pod {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Runner plays a Schedule against a live simulation.
+type Runner struct {
+	Net *netsim.Network
+	Ch  *ctrlplane.Channel // may be nil if the schedule has no ControlLoss
+
+	// OnFault, when set, observes each fault as it is applied.
+	OnFault func(Fault)
+
+	// Applied logs the faults in application order.
+	Applied []Fault
+}
+
+// NewRunner builds a Runner; ch may be nil when no ControlLoss fault will
+// be played.
+func NewRunner(net *netsim.Network, ch *ctrlplane.Channel) *Runner {
+	return &Runner{Net: net, Ch: ch}
+}
+
+// Play schedules every fault relative to the engine's current time. It
+// returns immediately; the faults fire as the engine advances.
+func (r *Runner) Play(s Schedule) {
+	for _, f := range s.sorted() {
+		f := f
+		r.Net.Eng.After(f.At, func() { r.apply(f) })
+	}
+}
+
+func (r *Runner) apply(f Fault) {
+	switch f.Kind {
+	case LinkCut:
+		r.Net.SetLinkDown(f.Node, f.Port, true)
+	case LinkRestore:
+		r.Net.SetLinkDown(f.Node, f.Port, false)
+	case SwitchCrash:
+		r.Net.SetSwitchDown(f.Node, true)
+	case SwitchRestart:
+		r.Net.SetSwitchDown(f.Node, false)
+	case ControlLoss:
+		if r.Ch != nil {
+			r.Ch.LossRate = f.Loss
+		}
+	case PodCrash:
+		for _, id := range PodSwitches(r.Net.Graph, f.Pod) {
+			r.Net.SetSwitchDown(id, true)
+		}
+	case PodRestart:
+		for _, id := range PodSwitches(r.Net.Graph, f.Pod) {
+			r.Net.SetSwitchDown(id, false)
+		}
+	}
+	r.Applied = append(r.Applied, f)
+	if r.OnFault != nil {
+		r.OnFault(f)
+	}
+}
+
+// ScenarioConfig parameterizes the standard chaos scenario. The zero value
+// of every field picks a sensible default.
+type ScenarioConfig struct {
+	// From and To are the transfer endpoints whose connectivity every
+	// fault must leave repairable. Both required.
+	From, To topo.NodeID
+
+	Start   time.Duration // first fault time (default 5ms)
+	Spacing time.Duration // gap between fault groups (default 40ms)
+	Outage  time.Duration // crash duration before restart (default 25ms)
+	Flap    time.Duration // link down-time in a flap (default 8ms)
+	Loss    float64       // control-loss rate for the degradation window (default 0.25)
+	LossFor time.Duration // degradation window length (default 30ms)
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Start <= 0 {
+		c.Start = 5 * time.Millisecond
+	}
+	if c.Spacing <= 0 {
+		c.Spacing = 40 * time.Millisecond
+	}
+	if c.Outage <= 0 {
+		c.Outage = 25 * time.Millisecond
+	}
+	if c.Flap <= 0 {
+		c.Flap = 8 * time.Millisecond
+	}
+	if c.Loss <= 0 {
+		c.Loss = 0.25
+	}
+	if c.LossFor <= 0 {
+		c.LossFor = 30 * time.Millisecond
+	}
+	return c
+}
+
+// Scenario builds the standard five-act fault storm for a fat-tree,
+// deterministically from seed: an uplink flap at the initiator's edge, a
+// core-switch crash/restart, a control-channel degradation window, an
+// aggregation-switch crash in the responder's pod, and a correlated
+// whole-pod failure of a bystander pod. Victim selection is randomized by
+// seed, but every act leaves at least one live path between From and To, so
+// a self-healing control plane must deliver the transfer in full.
+func Scenario(g *topo.Graph, seed uint64, cfg ScenarioConfig) (Schedule, error) {
+	cfg = cfg.withDefaults()
+	fromPod, toPod := PodOfHost(g, cfg.From), PodOfHost(g, cfg.To)
+	if fromPod == 0 || toPod == 0 {
+		return nil, fmt.Errorf("chaos: From/To must be fat-tree hosts (got pods %d, %d)", fromPod, toPod)
+	}
+	rng := sim.NewRNG(seed).Stream("chaos-scenario")
+	var s Schedule
+	at := cfg.Start
+
+	// Act 1: flap one uplink of the initiator's edge switch. The edge keeps
+	// its other aggregation uplink, so a detour exists while the link is
+	// down — and the flap may even self-heal before repair finishes.
+	edge := g.Node(g.Node(cfg.From).Ports[0].Peer)
+	var uplinks []int
+	for port, p := range edge.Ports {
+		if strings.HasPrefix(g.Node(p.Peer).Name, "agg") {
+			uplinks = append(uplinks, port)
+		}
+	}
+	if len(uplinks) < 2 {
+		return nil, fmt.Errorf("chaos: edge %s has %d agg uplinks, need 2+", edge.Name, len(uplinks))
+	}
+	flapPort := sim.Pick(rng, uplinks)
+	edgeID := g.Node(cfg.From).Ports[0].Peer
+	s = append(s,
+		Fault{At: at, Kind: LinkCut, Node: edgeID, Port: flapPort},
+		Fault{At: at + cfg.Flap, Kind: LinkRestore, Node: edgeID, Port: flapPort})
+	at += cfg.Spacing
+
+	// Act 2: crash one core switch. The other cores keep every pod pair
+	// connected.
+	cores := switchesByPrefix(g, "core", 0)
+	if len(cores) < 2 {
+		return nil, fmt.Errorf("chaos: need 2+ core switches, have %d", len(cores))
+	}
+	core := sim.Pick(rng, cores)
+	s = append(s,
+		Fault{At: at, Kind: SwitchCrash, Node: core},
+		Fault{At: at + cfg.Outage, Kind: SwitchRestart, Node: core})
+	at += cfg.Spacing
+
+	// Act 3: degrade the southbound control channel. Repairs triggered in
+	// this window must converge through retransmission.
+	s = append(s,
+		Fault{At: at, Kind: ControlLoss, Loss: cfg.Loss},
+		Fault{At: at + cfg.LossFor, Kind: ControlLoss, Loss: 0})
+	// Overlap the degradation with a link cut so a repair actually rides the
+	// lossy channel: cut an uplink of the responder's edge switch.
+	respEdgeID := g.Node(cfg.To).Ports[0].Peer
+	respEdge := g.Node(respEdgeID)
+	var respUplinks []int
+	for port, p := range respEdge.Ports {
+		if strings.HasPrefix(g.Node(p.Peer).Name, "agg") {
+			respUplinks = append(respUplinks, port)
+		}
+	}
+	lossyCut := sim.Pick(rng, respUplinks)
+	s = append(s,
+		Fault{At: at + cfg.LossFor/4, Kind: LinkCut, Node: respEdgeID, Port: lossyCut},
+		Fault{At: at + cfg.Spacing, Kind: LinkRestore, Node: respEdgeID, Port: lossyCut})
+	at += cfg.Spacing + cfg.Spacing/2
+
+	// Act 4: crash one aggregation switch in the responder's pod; its twin
+	// carries the pod while it is dark.
+	aggs := switchesByPrefix(g, "agg", toPod)
+	if len(aggs) < 2 {
+		return nil, fmt.Errorf("chaos: pod %d has %d agg switches, need 2+", toPod, len(aggs))
+	}
+	agg := sim.Pick(rng, aggs)
+	s = append(s,
+		Fault{At: at, Kind: SwitchCrash, Node: agg},
+		Fault{At: at + cfg.Outage, Kind: SwitchRestart, Node: agg})
+	at += cfg.Spacing
+
+	// Act 5: correlated pod failure — a bystander pod loses every switch at
+	// once. From/To traffic does not transit third pods in a fat tree, but
+	// the MC must absorb the event storm (and any channels through that pod
+	// must repair or terminate cleanly) without disturbing the transfer.
+	var bystanders []int
+	npods := 0
+	for _, id := range g.Switches() {
+		if p := podOf(g.Node(id).Name); p > npods {
+			npods = p
+		}
+	}
+	for p := 1; p <= npods; p++ {
+		if p != fromPod && p != toPod {
+			bystanders = append(bystanders, p)
+		}
+	}
+	if len(bystanders) == 0 {
+		return nil, fmt.Errorf("chaos: no bystander pod (from pod %d, to pod %d)", fromPod, toPod)
+	}
+	pod := sim.Pick(rng, bystanders)
+	s = append(s,
+		Fault{At: at, Kind: PodCrash, Pod: pod},
+		Fault{At: at + cfg.Outage, Kind: PodRestart, Pod: pod})
+
+	return s.sorted(), nil
+}

@@ -1,0 +1,208 @@
+package chaos_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"mic/internal/chaos"
+	"mic/internal/mic"
+	"mic/internal/netsim"
+	"mic/internal/sim"
+	"mic/internal/topo"
+	"mic/internal/transport"
+)
+
+func quickCfg(from, to topo.NodeID) chaos.ScenarioConfig {
+	return chaos.ScenarioConfig{
+		From:    from,
+		To:      to,
+		Start:   3 * time.Millisecond,
+		Spacing: 15 * time.Millisecond,
+		Outage:  10 * time.Millisecond,
+		Flap:    4 * time.Millisecond,
+		Loss:    0.25,
+		LossFor: 12 * time.Millisecond,
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	g, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := g.Hosts()[0], g.Hosts()[15]
+	a, err := chaos.Scenario(g, 42, quickCfg(from, to))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaos.Scenario(g, 42, quickCfg(from, to))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%s\nvs\n%s", a.Render(g), b.Render(g))
+	}
+	if kinds := a.Kinds(); len(kinds) < 3 {
+		t.Fatalf("schedule has only %d distinct fault kinds: %v", len(kinds), kinds)
+	}
+	// Distinct seeds should (for this topology) pick at least one different
+	// victim somewhere across the acts.
+	diverged := false
+	for seed := uint64(1); seed <= 8 && !diverged; seed++ {
+		c, err := chaos.Scenario(g, seed, quickCfg(from, to))
+		if err != nil {
+			t.Fatal(err)
+		}
+		diverged = !reflect.DeepEqual(a, c)
+	}
+	if !diverged {
+		t.Fatal("eight different seeds all produced the 42 schedule; selection is not seeded")
+	}
+}
+
+func TestScenarioTargetsAreSurvivable(t *testing.T) {
+	g, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := g.Hosts()[0], g.Hosts()[15]
+	fromPod, toPod := chaos.PodOfHost(g, from), chaos.PodOfHost(g, to)
+	for seed := uint64(0); seed < 20; seed++ {
+		s, err := chaos.Scenario(g, seed, quickCfg(from, to))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range s {
+			switch f.Kind {
+			case chaos.PodCrash, chaos.PodRestart:
+				if f.Pod == fromPod || f.Pod == toPod {
+					t.Fatalf("seed %d crashes an endpoint pod %d:\n%s", seed, f.Pod, s.Render(g))
+				}
+			case chaos.SwitchCrash:
+				name := g.Node(f.Node).Name
+				if name == g.Node(g.Node(from).Ports[0].Peer).Name || name == g.Node(g.Node(to).Ports[0].Peer).Name {
+					t.Fatalf("seed %d crashes an endpoint edge switch %s", seed, name)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosTransferSurvives is the headline robustness test: a fat-tree
+// carrying one MIC transfer absorbs the full five-act fault storm — link
+// flap, core crash, lossy control channel with a concurrent cut, agg crash,
+// correlated pod failure — and the self-healing MC delivers every byte with
+// zero manual repair calls.
+func TestChaosTransferSurvives(t *testing.T) {
+	g, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	mc, err := mic.NewMC(net, mic.Config{MNs: 3, AutoRepair: true, RepairMaxRetries: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stacks []*transport.Stack
+	for _, hid := range g.Hosts() {
+		stacks = append(stacks, transport.NewStack(net.Host(hid)))
+	}
+	data := make([]byte, 8<<20)
+	for i := range data {
+		data[i] = byte(i*131 + i>>10)
+	}
+	var got []byte
+	mic.Listen(stacks[15], 80, false, func(s *mic.Stream) {
+		s.OnData(func(b []byte) { got = append(got, b...) })
+	})
+	client := mic.NewClient(stacks[0], mc)
+	target := stacks[15].Host.IP.String()
+	client.Dial(target, 80, func(s *mic.Stream, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		s.Send(data)
+	})
+
+	sched, err := chaos.Scenario(g, 7, quickCfg(g.Hosts()[0], g.Hosts()[15]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("schedule:\n%s", sched.Render(g))
+	runner := chaos.NewRunner(net, mc.Ch)
+	runner.Play(sched)
+
+	eng.RunUntil(sim.Time(120 * time.Second))
+	if len(runner.Applied) != len(sched) {
+		t.Fatalf("only %d/%d faults applied", len(runner.Applied), len(sched))
+	}
+	if kinds := sched.Kinds(); len(kinds) < 3 {
+		t.Fatalf("schedule exercised only %d fault kinds: %v", len(kinds), kinds)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("chaos broke the transfer: %d/%d bytes delivered (repairs=%d failures=%d)",
+			len(got), len(data), mc.Repairs, mc.RepairFailures)
+	}
+	if mc.Repairs == 0 {
+		t.Fatal("storm triggered no repair; the schedule is not stressing self-healing")
+	}
+	if mc.Ch.Retransmits == 0 {
+		t.Fatal("control-loss window caused no retransmission; degradation not exercised")
+	}
+	if mc.RepairFailures != 0 {
+		t.Fatalf("%d channels declared unrepairable during a survivable storm", mc.RepairFailures)
+	}
+}
+
+// TestChaosDeterministicOutcome replays the same storm twice and demands
+// bit-identical fault logs and repair counts — the property that makes
+// chaos failures debuggable.
+func TestChaosDeterministicOutcome(t *testing.T) {
+	run := func() (applied []chaos.Fault, repairs uint64, bytesGot int) {
+		g, err := topo.FatTree(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.New()
+		net := netsim.New(eng, g, netsim.Config{})
+		mc, err := mic.NewMC(net, mic.Config{MNs: 3, AutoRepair: true, RepairMaxRetries: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stacks []*transport.Stack
+		for _, hid := range g.Hosts() {
+			stacks = append(stacks, transport.NewStack(net.Host(hid)))
+		}
+		data := make([]byte, 2<<20)
+		got := 0
+		mic.Listen(stacks[15], 80, false, func(s *mic.Stream) {
+			s.OnData(func(b []byte) { got += len(b) })
+		})
+		client := mic.NewClient(stacks[0], mc)
+		client.Dial(stacks[15].Host.IP.String(), 80, func(s *mic.Stream, err error) {
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			s.Send(data)
+		})
+		sched, err := chaos.Scenario(g, 3, quickCfg(g.Hosts()[0], g.Hosts()[15]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner := chaos.NewRunner(net, mc.Ch)
+		runner.Play(sched)
+		eng.RunUntil(sim.Time(60 * time.Second))
+		return runner.Applied, mc.Repairs, got
+	}
+	a1, r1, g1 := run()
+	a2, r2, g2 := run()
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("applied fault logs differ between identical runs")
+	}
+	if r1 != r2 || g1 != g2 {
+		t.Fatalf("outcome diverged: repairs %d vs %d, bytes %d vs %d", r1, r2, g1, g2)
+	}
+}

@@ -1,7 +1,9 @@
 // Package ctrlplane models the SDN southbound interface: FlowMod, GroupMod,
-// PacketOut and Barrier messages carried over a latency-modeled secure
+// PacketOut, Barrier and Echo messages carried over a latency-modeled secure
 // channel between the controller and each switch. The paper assumes this
-// channel is secure (Sec III-D); we model only its delay and message count.
+// channel is secure (Sec III-D); we model its delay, message count and —
+// because a self-healing controller must survive a degraded management
+// network — per-message loss with acknowledgement, timeout and retransmit.
 package ctrlplane
 
 import (
@@ -11,9 +13,19 @@ import (
 	"mic/internal/netsim"
 	"mic/internal/packet"
 	"mic/internal/sim"
+	"mic/internal/topo"
 )
 
 // Channel is the controller's handle to the fabric's switches.
+//
+// Reliability model: every state-changing message (FlowMod, GroupMod,
+// delete, Barrier) is acknowledged by the switch. Either direction may lose
+// a message with probability LossRate; an unacknowledged message is
+// retransmitted after a capped exponential backoff, up to MaxRetries times,
+// and then abandoned (counted in GiveUps and per-switch in Failed). All
+// message applications are idempotent, so a retransmit after a lost
+// acknowledgement is harmless — OpenFlow's own semantics for overlapping
+// FlowMods.
 type Channel struct {
 	Eng *sim.Engine
 	Net *netsim.Network
@@ -22,97 +34,363 @@ type Channel struct {
 	// approximates a Python SDN controller (Ryu) installing rules over TCP.
 	Latency time.Duration
 
-	// Counters for control-plane overhead experiments.
-	FlowMods   uint64
-	GroupMods  uint64
-	PacketOuts uint64
-	Deletes    uint64
+	// LossRate drops each control message direction independently with this
+	// probability (0 = perfectly reliable, the seed behaviour). Deterministic
+	// per LossSeed.
+	LossRate float64
+	LossSeed uint64
+
+	// AckTimeout is how long an attempt waits for its acknowledgement before
+	// retransmitting. Zero means DefaultAckTimeoutRTTs round trips. Values at
+	// or below one round trip are clamped above it so a healthy channel never
+	// spuriously retransmits.
+	AckTimeout time.Duration
+
+	// MaxRetries bounds retransmissions per message (attempts = 1+MaxRetries).
+	// Zero means DefaultMaxRetries; negative disables retries entirely.
+	MaxRetries int
+
+	// MaxBackoff caps the exponential growth of the retransmit timer. Zero
+	// means 16x the effective AckTimeout.
+	MaxBackoff time.Duration
+
+	// Counters for control-plane overhead and reliability experiments.
+	FlowMods    uint64
+	GroupMods   uint64
+	PacketOuts  uint64
+	Deletes     uint64
+	Barriers    uint64
+	Echoes      uint64
+	Retransmits uint64 // attempts beyond the first
+	Timeouts    uint64 // ack timers that expired
+	GiveUps     uint64 // messages abandoned after MaxRetries
+	Acked       uint64 // messages positively acknowledged
+
+	lossRNG  *sim.RNG
+	inflight map[topo.NodeID]int      // unresolved messages per switch
+	failed   map[topo.NodeID]uint64   // abandoned messages per switch
+	waiters  map[topo.NodeID][]func() // barriers waiting for quiescence
 }
 
-// DefaultControlLatency approximates one Ryu FlowMod round over the
-// management network.
-const DefaultControlLatency = 500 * time.Microsecond
+// Control-channel reliability defaults.
+const (
+	// DefaultControlLatency approximates one Ryu FlowMod round over the
+	// management network.
+	DefaultControlLatency = 500 * time.Microsecond
+	// DefaultAckTimeoutRTTs expresses the default ack timeout in round trips.
+	DefaultAckTimeoutRTTs = 2
+	// DefaultMaxRetries is the retransmission budget per message.
+	DefaultMaxRetries = 10
+)
 
-// NewChannel returns a channel bound to the network with default latency.
+// NewChannel returns a channel bound to the network with default latency
+// and a perfectly reliable transport (LossRate 0).
 func NewChannel(net *netsim.Network) *Channel {
-	return &Channel{Eng: net.Eng, Net: net, Latency: DefaultControlLatency}
+	return &Channel{
+		Eng:      net.Eng,
+		Net:      net,
+		Latency:  DefaultControlLatency,
+		inflight: make(map[topo.NodeID]int),
+		failed:   make(map[topo.NodeID]uint64),
+		waiters:  make(map[topo.NodeID][]func()),
+	}
 }
 
-// FlowMod installs e on sw after the control latency, then invokes
-// onApplied (which may be nil) after the acknowledgement returns.
+// ackTimeout returns the effective per-attempt ack timeout: configured or
+// default, but always strictly more than one round trip.
+func (c *Channel) ackTimeout() time.Duration {
+	t := c.AckTimeout
+	if t == 0 {
+		t = DefaultAckTimeoutRTTs * 2 * c.Latency
+	}
+	if min := 2*c.Latency + c.Latency/2 + 1; t < min {
+		t = min
+	}
+	return t
+}
+
+// attempts returns the total send attempts allowed per message.
+func (c *Channel) attempts() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 1
+	case c.MaxRetries == 0:
+		return 1 + DefaultMaxRetries
+	}
+	return 1 + c.MaxRetries
+}
+
+func (c *Channel) maxBackoff() time.Duration {
+	if c.MaxBackoff > 0 {
+		return c.MaxBackoff
+	}
+	return 16 * c.ackTimeout()
+}
+
+// lost flips the loss coin for one message direction.
+func (c *Channel) lost() bool {
+	if c.LossRate <= 0 {
+		return false
+	}
+	if c.lossRNG == nil {
+		c.lossRNG = sim.NewRNG(c.LossSeed ^ 0xc7a05)
+	}
+	return c.lossRNG.Float64() < c.LossRate
+}
+
+// InFlight reports how many messages to switch id are sent but not yet
+// acknowledged or abandoned — the controller's per-switch transaction
+// window.
+func (c *Channel) InFlight(id topo.NodeID) int { return c.inflight[id] }
+
+// Failed reports how many messages to switch id were abandoned after
+// exhausting retransmissions — rules the controller must assume never
+// landed.
+func (c *Channel) Failed(id topo.NodeID) uint64 { return c.failed[id] }
+
+func (c *Channel) begin(id topo.NodeID) { c.inflight[id]++ }
+
+func (c *Channel) resolve(id topo.NodeID, ok bool) {
+	c.inflight[id]--
+	if ok {
+		c.Acked++
+	} else {
+		c.GiveUps++
+		c.failed[id]++
+	}
+	if c.inflight[id] == 0 {
+		ws := c.waiters[id]
+		delete(c.waiters, id)
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// deliver reliably sends one message whose effect is apply (idempotent,
+// executed switch-side on arrival). onDone receives true after the
+// acknowledgement returns, or false when the retry budget is exhausted.
+func (c *Channel) deliver(sw *netsim.Switch, apply func(), onDone func(ok bool)) {
+	c.begin(sw.ID)
+	attempt := 0
+	resolved := false
+	backoff := c.ackTimeout()
+	var try func()
+	try = func() {
+		attempt++
+		if attempt > 1 {
+			c.Retransmits++
+		}
+		reqLost := c.lost()
+		c.Eng.After(c.Latency, func() {
+			// A dead switch neither applies nor acknowledges: the message
+			// vanishes exactly like a loss, which is what makes the liveness
+			// prober and the give-up path necessary.
+			if reqLost || sw.Down {
+				return
+			}
+			apply()
+			ackLost := c.lost()
+			c.Eng.After(c.Latency, func() {
+				if ackLost || resolved {
+					return
+				}
+				resolved = true
+				c.resolve(sw.ID, true)
+				if onDone != nil {
+					onDone(true)
+				}
+			})
+		})
+		wait := backoff
+		if wait > c.maxBackoff() {
+			wait = c.maxBackoff()
+		}
+		backoff *= 2
+		c.Eng.After(wait, func() {
+			if resolved {
+				return
+			}
+			c.Timeouts++
+			if attempt >= c.attempts() {
+				resolved = true
+				c.resolve(sw.ID, false)
+				if onDone != nil {
+					onDone(false)
+				}
+				return
+			}
+			try()
+		})
+	}
+	try()
+}
+
+// FlowMod installs e on sw, then invokes onApplied (which may be nil) after
+// the acknowledgement returns. If the message is abandoned after retries,
+// onApplied never fires; use FlowModResult to observe failures.
 func (c *Channel) FlowMod(sw *netsim.Switch, e *flowtable.Entry, onApplied func()) {
-	c.FlowMods++
-	c.Eng.After(c.Latency, func() {
-		sw.Table.Insert(e, c.Eng.Now())
-		if onApplied != nil {
-			c.Eng.After(c.Latency, onApplied)
+	c.FlowModResult(sw, e, func(ok bool) {
+		if ok && onApplied != nil {
+			onApplied()
 		}
 	})
 }
 
-// GroupMod installs g on sw after the control latency.
+// FlowModResult installs e on sw and reports whether the switch
+// acknowledged it.
+func (c *Channel) FlowModResult(sw *netsim.Switch, e *flowtable.Entry, onDone func(ok bool)) {
+	c.FlowMods++
+	c.deliver(sw, func() { sw.Table.Insert(e, c.Eng.Now()) }, onDone)
+}
+
+// GroupMod installs g on sw; onApplied fires after the acknowledgement.
 func (c *Channel) GroupMod(sw *netsim.Switch, g *flowtable.Group, onApplied func()) {
-	c.GroupMods++
-	c.Eng.After(c.Latency, func() {
-		sw.Table.SetGroup(g)
-		if onApplied != nil {
-			c.Eng.After(c.Latency, onApplied)
+	c.GroupModResult(sw, g, func(ok bool) {
+		if ok && onApplied != nil {
+			onApplied()
 		}
 	})
+}
+
+// GroupModResult installs g on sw and reports whether the switch
+// acknowledged it.
+func (c *Channel) GroupModResult(sw *netsim.Switch, g *flowtable.Group, onDone func(ok bool)) {
+	c.GroupMods++
+	c.deliver(sw, func() { sw.Table.SetGroup(g) }, onDone)
 }
 
 // DeleteByCookie removes all entries with the cookie from sw; onDone (may
-// be nil) receives the removal count after the acknowledgement returns.
+// be nil) receives the removal count after the acknowledgement returns, or
+// -1 if the switch never acknowledged (the controller must assume the rules
+// are still installed).
 func (c *Channel) DeleteByCookie(sw *netsim.Switch, cookie uint64, onDone func(removed int)) {
 	c.Deletes++
-	c.Eng.After(c.Latency, func() {
-		n := sw.Table.DeleteByCookie(cookie)
-		if onDone != nil {
-			c.Eng.After(c.Latency, func() { onDone(n) })
+	n := -1
+	c.deliver(sw, func() {
+		removed := sw.Table.DeleteByCookie(cookie)
+		// Retransmitted deletes find nothing; report the first pass's count.
+		if n < 0 {
+			n = removed
 		}
+	}, func(ok bool) {
+		if onDone == nil {
+			return
+		}
+		if !ok {
+			onDone(-1)
+			return
+		}
+		onDone(n)
 	})
 }
 
 // PacketOut injects p at sw with the given actions after control latency.
+// Packet-outs are fire-and-forget (as in OpenFlow): they are subject to
+// loss but never retransmitted.
 func (c *Channel) PacketOut(sw *netsim.Switch, actions []flowtable.Action, p *packet.Packet) {
 	c.PacketOuts++
+	if c.lost() {
+		return
+	}
 	c.Eng.After(c.Latency, func() {
+		if sw.Down {
+			return
+		}
 		sw.Execute(actions, -1, p)
 	})
 }
 
+// Barrier completes after every message sent to sw before the barrier has
+// been acknowledged or abandoned, plus one reliable round trip of its own —
+// the OFPT_BARRIER_REQUEST/REPLY semantics this package's doc promises.
+// onDone reports whether the barrier itself was acknowledged.
+func (c *Channel) Barrier(sw *netsim.Switch, onDone func(ok bool)) {
+	c.Barriers++
+	fire := func() {
+		c.deliver(sw, func() {}, onDone)
+	}
+	if c.inflight[sw.ID] > 0 {
+		c.waiters[sw.ID] = append(c.waiters[sw.ID], fire)
+		return
+	}
+	fire()
+}
+
+// Echo sends one liveness probe to sw: a single unretransmitted round trip.
+// cb receives true if the reply arrives within the ack timeout. A false
+// reading can be loss, not death — callers (the Prober) must debounce.
+func (c *Channel) Echo(sw *netsim.Switch, cb func(alive bool)) {
+	c.Echoes++
+	answered := false
+	reqLost := c.lost()
+	c.Eng.After(c.Latency, func() {
+		if reqLost || sw.Down {
+			return
+		}
+		repLost := c.lost()
+		c.Eng.After(c.Latency, func() {
+			if repLost || answered {
+				return
+			}
+			answered = true
+			cb(true)
+		})
+	})
+	c.Eng.After(c.ackTimeout(), func() {
+		if !answered {
+			answered = true
+			cb(false)
+		}
+	})
+}
+
 // InstallAll sends one FlowMod per (switch, entry) pair concurrently and
-// invokes onAll once every acknowledgement has arrived — how the Mimic
-// Controller installs a whole m-flow path in a single round trip, keeping
-// route setup time flat in route length (Fig 7).
+// invokes onAll once every message is resolved (acknowledged or abandoned)
+// — how the Mimic Controller installs a whole m-flow path in a single round
+// trip, keeping route setup time flat in route length (Fig 7).
 func (c *Channel) InstallAll(mods []Mod, onAll func()) {
-	if len(mods) == 0 {
+	c.InstallAllResult(mods, func(failed int) {
 		if onAll != nil {
-			c.Eng.After(0, onAll)
+			onAll()
+		}
+	})
+}
+
+// InstallAllResult is InstallAll with the number of abandoned messages
+// reported, so the controller knows whether the whole path truly landed.
+func (c *Channel) InstallAllResult(mods []Mod, onAll func(failed int)) {
+	remaining := 0
+	for _, m := range mods {
+		if m.Entry != nil {
+			remaining++
+		}
+		if m.Group != nil {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		if onAll != nil {
+			c.Eng.After(0, func() { onAll(0) })
 		}
 		return
 	}
-	remaining := 0
-	done := func() {
+	failed := 0
+	done := func(ok bool) {
+		if !ok {
+			failed++
+		}
 		remaining--
 		if remaining == 0 && onAll != nil {
-			onAll()
-		}
-	}
-	for _, m := range mods {
-		if m.Entry != nil {
-			remaining++
-		}
-		if m.Group != nil {
-			remaining++
+			onAll(failed)
 		}
 	}
 	for _, m := range mods {
 		if m.Group != nil {
-			c.GroupMod(m.Switch, m.Group, done)
+			c.GroupModResult(m.Switch, m.Group, done)
 		}
 		if m.Entry != nil {
-			c.FlowMod(m.Switch, m.Entry, done)
+			c.FlowModResult(m.Switch, m.Entry, done)
 		}
 	}
 }

@@ -285,3 +285,202 @@ func TestECMPSpreadsDestinations(t *testing.T) {
 		t.Fatalf("all destinations use one uplink: %v", ports)
 	}
 }
+
+// TestLossyChannelConverges: at 25% per-direction control loss, every
+// FlowMod must still land via retransmission, and the reliability counters
+// must show the work.
+func TestLossyChannelConverges(t *testing.T) {
+	g, _ := topo.Linear(4)
+	eng, net, ch := build(t, g)
+	ch.LossRate = 0.25
+	ch.LossSeed = 7
+	var mods []Mod
+	for i, sid := range g.Switches() {
+		for j := 0; j < 8; j++ {
+			mods = append(mods, Mod{Switch: net.Switch(sid), Entry: &flowtable.Entry{
+				Priority: 10 + j,
+				Match:    flowtable.Match{Mask: flowtable.MatchInPort, InPort: i*10 + j},
+			}})
+		}
+	}
+	failed := -1
+	ch.InstallAllResult(mods, func(f int) { failed = f })
+	eng.Run()
+	if failed != 0 {
+		t.Fatalf("abandoned %d mods at 25%% loss (retry budget too small)", failed)
+	}
+	for _, sid := range g.Switches() {
+		if n := net.Switch(sid).Table.Len(); n != 8 {
+			t.Fatalf("switch %v has %d entries, want 8", sid, n)
+		}
+		if ch.InFlight(sid) != 0 {
+			t.Fatalf("switch %v still has %d in-flight after completion", sid, ch.InFlight(sid))
+		}
+	}
+	if ch.Retransmits == 0 || ch.Timeouts == 0 {
+		t.Fatalf("loss left no trace: retransmits=%d timeouts=%d", ch.Retransmits, ch.Timeouts)
+	}
+	if ch.Acked != uint64(len(mods)) {
+		t.Fatalf("acked=%d, want %d", ch.Acked, len(mods))
+	}
+}
+
+// TestGiveUpAfterRetryBudget: messages to a dead switch are abandoned after
+// MaxRetries with capped backoff, and the failure is observable.
+func TestGiveUpAfterRetryBudget(t *testing.T) {
+	g, _ := topo.Linear(1)
+	eng, net, ch := build(t, g)
+	ch.MaxRetries = 3
+	sw := net.Switch(g.Switches()[0])
+	net.SetSwitchDown(sw.ID, true)
+	var gotOK *bool
+	ch.FlowModResult(sw, &flowtable.Entry{Priority: 1}, func(ok bool) { gotOK = &ok })
+	if ch.InFlight(sw.ID) != 1 {
+		t.Fatalf("in-flight = %d", ch.InFlight(sw.ID))
+	}
+	eng.Run()
+	if gotOK == nil || *gotOK {
+		t.Fatalf("dead switch acked? %v", gotOK)
+	}
+	if ch.GiveUps != 1 || ch.Failed(sw.ID) != 1 {
+		t.Fatalf("give-up not recorded: %d / %d", ch.GiveUps, ch.Failed(sw.ID))
+	}
+	if ch.Retransmits != 3 {
+		t.Fatalf("retransmits = %d, want 3", ch.Retransmits)
+	}
+	if ch.InFlight(sw.ID) != 0 {
+		t.Fatalf("in-flight leaked: %d", ch.InFlight(sw.ID))
+	}
+	if sw.Table.Len() != 0 {
+		t.Fatal("rule appeared on a dead switch")
+	}
+}
+
+// TestBackoffIsCapped: with a tiny MaxBackoff the give-up time is linear in
+// the retry count rather than exponential.
+func TestBackoffIsCapped(t *testing.T) {
+	g, _ := topo.Linear(1)
+	eng, net, ch := build(t, g)
+	ch.MaxRetries = 6
+	ch.AckTimeout = 2 * time.Millisecond
+	ch.MaxBackoff = 2 * time.Millisecond
+	sw := net.Switch(g.Switches()[0])
+	net.SetSwitchDown(sw.ID, true)
+	var doneAt sim.Time
+	ch.FlowModResult(sw, &flowtable.Entry{Priority: 1}, func(bool) { doneAt = eng.Now() })
+	eng.Run()
+	// 7 attempts, each waiting the capped 2ms: 14ms total.
+	if want := sim.Time(14 * time.Millisecond); doneAt != want {
+		t.Fatalf("gave up at %v, want %v (cap not applied)", doneAt, want)
+	}
+}
+
+// TestBarrierWaitsForInFlight: a barrier must not complete before messages
+// sent ahead of it resolve.
+func TestBarrierWaitsForInFlight(t *testing.T) {
+	g, _ := topo.Linear(1)
+	eng, net, ch := build(t, g)
+	sw := net.Switch(g.Switches()[0])
+	applied := false
+	ch.FlowMod(sw, &flowtable.Entry{Priority: 1}, func() { applied = true })
+	barrierOK := false
+	ch.Barrier(sw, func(ok bool) {
+		if !applied {
+			t.Fatal("barrier completed before the preceding FlowMod was acked")
+		}
+		barrierOK = ok
+	})
+	eng.Run()
+	if !barrierOK {
+		t.Fatal("barrier never completed")
+	}
+	// An idle channel's barrier is just one round trip.
+	at := sim.Time(-1)
+	ch.Barrier(sw, func(bool) { at = eng.Now() })
+	start := eng.Now()
+	eng.Run()
+	if at.Sub(start) != 2*ch.Latency {
+		t.Fatalf("idle barrier took %v, want one RTT", at.Sub(start))
+	}
+	if ch.Barriers != 2 {
+		t.Fatalf("Barriers = %d", ch.Barriers)
+	}
+}
+
+// TestDeleteByCookieOnDeadSwitch: the controller must learn the delete
+// never landed.
+func TestDeleteByCookieOnDeadSwitch(t *testing.T) {
+	g, _ := topo.Linear(1)
+	eng, net, ch := build(t, g)
+	ch.MaxRetries = 2
+	sw := net.Switch(g.Switches()[0])
+	sw.Table.Insert(&flowtable.Entry{Priority: 1, Cookie: 9}, 0)
+	net.SetSwitchDown(sw.ID, true)
+	removed := 0
+	ch.DeleteByCookie(sw, 9, func(n int) { removed = n })
+	eng.Run()
+	if removed != -1 {
+		t.Fatalf("removed = %d, want -1 (unacknowledged)", removed)
+	}
+	if sw.Table.Len() != 1 {
+		t.Fatal("rule vanished from a dead switch")
+	}
+}
+
+// TestProberDetectsSilentFailure: a quiet switch failure (no port-status
+// event) is caught by echo probing within Misses intervals, and recovery is
+// reported when the switch answers again.
+func TestProberDetectsSilentFailure(t *testing.T) {
+	g, _ := topo.Linear(3)
+	eng, net, ch := build(t, g)
+	victim := g.Switches()[1]
+	p := NewProber(ch, 10*time.Millisecond)
+	var downAt, upAt sim.Time = -1, -1
+	var downID topo.NodeID = -1
+	p.OnDown = func(id topo.NodeID) { downID, downAt = id, eng.Now() }
+	p.OnUp = func(id topo.NodeID) { upAt = eng.Now() }
+	stop := p.Start()
+	eng.RunFor(25 * time.Millisecond) // two healthy rounds
+	if downAt >= 0 {
+		t.Fatal("healthy switch declared dead")
+	}
+	net.SetSwitchDownQuiet(victim, true)
+	failedAt := eng.Now()
+	eng.RunFor(50 * time.Millisecond)
+	if downID != victim {
+		t.Fatalf("prober blamed %v, want %v", downID, victim)
+	}
+	if !p.Dead(victim) {
+		t.Fatal("Dead() disagrees with OnDown")
+	}
+	detect := downAt.Sub(failedAt)
+	if detect <= 0 || detect > 40*time.Millisecond {
+		t.Fatalf("detection latency %v outside (0, 4 intervals]", detect)
+	}
+	net.SetSwitchDownQuiet(victim, false)
+	eng.RunFor(30 * time.Millisecond)
+	if upAt < 0 || p.Dead(victim) {
+		t.Fatal("recovery not detected")
+	}
+	stop()
+	if p.Deaths != 1 || p.Recoveries != 1 {
+		t.Fatalf("deaths=%d recoveries=%d", p.Deaths, p.Recoveries)
+	}
+}
+
+// TestProberTolleratesLoss: at 20% control loss a healthy fabric must not be
+// declared dead (the consecutive-miss debounce).
+func TestProberToleratesLoss(t *testing.T) {
+	g, _ := topo.Linear(4)
+	eng, _, ch := build(t, g)
+	ch.LossRate = 0.2
+	ch.LossSeed = 99
+	p := NewProber(ch, 5*time.Millisecond)
+	p.OnDown = func(id topo.NodeID) { t.Errorf("false positive on switch %v", id) }
+	stop := p.Start()
+	eng.RunFor(500 * time.Millisecond)
+	stop()
+	if p.Probes < 90 {
+		t.Fatalf("prober ran %d rounds, expected ~100", p.Probes)
+	}
+}

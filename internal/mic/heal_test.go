@@ -1,0 +1,434 @@
+package mic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mic/internal/addr"
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+// cutFirstInterSwitchLink cuts the first switch-to-switch link on the
+// flow's current path and returns its (node, port).
+func cutFirstInterSwitchLink(t *testing.T, f *fixture, path topo.Path) (topo.NodeID, int) {
+	t.Helper()
+	for i := 1; i < len(path)-2; i++ {
+		if f.graph.Node(path[i]).Kind == topo.KindSwitch && f.graph.Node(path[i+1]).Kind == topo.KindSwitch {
+			node, port := path[i], f.graph.PortTo(path[i], path[i+1])
+			f.net.SetLinkDown(node, port, true)
+			return node, port
+		}
+	}
+	t.Fatal("no switch-switch link on path to cut")
+	return 0, -1
+}
+
+// TestAutoRepairSurvivesLinkFailure is TestRepairSurvivesLinkFailure with
+// ZERO manual RepairChannel calls: the MC detects the port-down event and
+// heals the channel itself.
+func TestAutoRepairSurvivesLinkFailure(t *testing.T) {
+	f := newFixture(t, Config{MNs: 3, AutoRepair: true})
+	data := pattern(400_000)
+	var got []byte
+	Listen(f.stacks[15], 80, false, func(s *Stream) {
+		s.OnData(func(b []byte) { got = append(got, b...) })
+	})
+	var repairs []RepairEvent
+	f.mc.OnRepair = func(ev RepairEvent) { repairs = append(repairs, ev) }
+	client := NewClient(f.stacks[0], f.mc)
+	target := f.hostIP(15).String()
+	client.Dial(target, 80, func(s *Stream, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		s.Send(data)
+	})
+	f.eng.RunFor(3 * time.Millisecond)
+	info, _ := client.Channel(target)
+	oldEntry := info.Flows[0].Entry
+	cutNode, cutPort := cutFirstInterSwitchLink(t, f, info.Flows[0].Path)
+	f.eng.RunUntil(sim.Time(30 * time.Second))
+	if !bytes.Equal(got, data) {
+		t.Fatalf("transfer broken: %d/%d bytes (lost down: %d)", len(got), len(data), f.net.Stats.LostDown)
+	}
+	if len(repairs) == 0 || repairs[0].Err != nil {
+		t.Fatalf("no successful auto-repair: %+v", repairs)
+	}
+	if f.mc.Repairs == 0 {
+		t.Fatal("Repairs counter untouched")
+	}
+	lat := repairs[0].CompletedAt.Sub(repairs[0].DetectedAt)
+	if lat <= 0 || lat > 100*time.Millisecond {
+		t.Fatalf("detection→repair latency %v implausible", lat)
+	}
+	newInfo, _ := client.Channel(target)
+	if newInfo.Flows[0].Entry != oldEntry {
+		t.Fatal("auto-repair changed the entry address")
+	}
+	for i := 0; i+1 < len(newInfo.Flows[0].Path); i++ {
+		a, b := newInfo.Flows[0].Path[i], newInfo.Flows[0].Path[i+1]
+		if a == cutNode && f.graph.PortTo(a, b) == cutPort {
+			t.Fatal("repaired path still crosses the failed link")
+		}
+	}
+}
+
+// TestAutoRepairSurvivesSwitchFailure: a whole switch dies; the SwitchDown
+// event heals every channel crossing it.
+func TestAutoRepairSurvivesSwitchFailure(t *testing.T) {
+	f := newFixture(t, Config{MNs: 2, AutoRepair: true})
+	data := pattern(200_000)
+	var got []byte
+	Listen(f.stacks[15], 80, false, func(s *Stream) {
+		s.OnData(func(b []byte) { got = append(got, b...) })
+	})
+	client := NewClient(f.stacks[0], f.mc)
+	target := f.hostIP(15).String()
+	client.Dial(target, 80, func(s *Stream, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		s.Send(data)
+	})
+	f.eng.RunFor(2 * time.Millisecond)
+	info, _ := client.Channel(target)
+	var victim topo.NodeID = -1
+	for _, node := range info.Flows[0].Path[2 : len(info.Flows[0].Path)-2] {
+		if f.graph.Node(node).Kind == topo.KindSwitch {
+			victim = node
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("path too short to have a non-edge middle switch")
+	}
+	f.net.SetSwitchDown(victim, true)
+	f.eng.RunUntil(sim.Time(30 * time.Second))
+	if !bytes.Equal(got, data) {
+		t.Fatalf("transfer broken after switch failure: %d/%d", len(got), len(data))
+	}
+	for _, node := range f.mc.channels[info.ID].info.Flows[0].Path {
+		if node == victim {
+			t.Fatal("repaired path still crosses the failed switch")
+		}
+	}
+}
+
+// TestAutoRepairDoubleFailure cuts a second link — on the freshly repaired
+// path — the instant the first repair completes; the MC must retry onto a
+// third disjoint path and the transfer must still finish.
+func TestAutoRepairDoubleFailure(t *testing.T) {
+	f := newFixture(t, Config{MNs: 3, AutoRepair: true})
+	data := pattern(400_000)
+	var got []byte
+	Listen(f.stacks[15], 80, false, func(s *Stream) {
+		s.OnData(func(b []byte) { got = append(got, b...) })
+	})
+	client := NewClient(f.stacks[0], f.mc)
+	target := f.hostIP(15).String()
+	client.Dial(target, 80, func(s *Stream, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		s.Send(data)
+	})
+	f.eng.RunFor(5 * time.Millisecond)
+	info, _ := client.Channel(target)
+	type cut struct {
+		node topo.NodeID
+		port int
+	}
+	var cuts []cut
+	// aggCoreLink finds an agg<->core hop on one of the channel's current
+	// paths. Cutting one always leaves the MC an alternative: in a k=4
+	// fat-tree every agg has two core uplinks.
+	aggCoreLink := func() (topo.NodeID, int, bool) {
+		for _, fl := range info.Flows {
+			for i := 0; i+1 < len(fl.Path); i++ {
+				a, b := f.graph.Node(fl.Path[i]).Name, f.graph.Node(fl.Path[i+1]).Name
+				if (strings.HasPrefix(a, "agg") && strings.HasPrefix(b, "core")) ||
+					(strings.HasPrefix(a, "core") && strings.HasPrefix(b, "agg")) {
+					return fl.Path[i], f.graph.PortTo(fl.Path[i], fl.Path[i+1]), true
+				}
+			}
+		}
+		return 0, -1, false
+	}
+	secondCutDone := false
+	f.mc.OnRepair = func(ev RepairEvent) {
+		if ev.Err != nil {
+			t.Errorf("repair failed: %v", ev.Err)
+			return
+		}
+		if secondCutDone {
+			return
+		}
+		secondCutDone = true
+		// First repair just landed: immediately cut a link on the NEW path.
+		n, p, ok := aggCoreLink()
+		if !ok {
+			t.Error("no agg-core hop on the repaired paths to cut")
+			return
+		}
+		f.net.SetLinkDown(n, p, true)
+		cuts = append(cuts, cut{n, p})
+	}
+	// First cut: an agg-core hop, so the detour stays within path diversity
+	// that survives a second cut.
+	n0, p0, ok := aggCoreLink()
+	if !ok {
+		t.Skip("channel routed without crossing the core; cannot stage double failure")
+	}
+	f.net.SetLinkDown(n0, p0, true)
+	cuts = append(cuts, cut{n0, p0})
+	f.eng.RunUntil(sim.Time(30 * time.Second))
+	if !secondCutDone {
+		t.Fatal("first repair never completed")
+	}
+	if len(cuts) != 2 {
+		t.Fatalf("made %d cuts, want 2", len(cuts))
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("transfer broken after double failure: %d/%d (lost: %d)", len(got), len(data), f.net.Stats.LostDown)
+	}
+	if f.mc.Repairs < 2 {
+		t.Fatalf("Repairs = %d, want >= 2 (one per cut)", f.mc.Repairs)
+	}
+	for _, fl := range info.Flows {
+		for i := 0; i+1 < len(fl.Path); i++ {
+			for _, c := range cuts {
+				if fl.Path[i] == c.node && f.graph.PortTo(fl.Path[i], fl.Path[i+1]) == c.port {
+					t.Fatal("final path crosses a failed link")
+				}
+			}
+		}
+	}
+}
+
+// TestAutoRepairTerminalWhenNoPath: killing the responder's only edge
+// switch leaves no possible route; after the retry budget the channel must
+// be surfaced as dead to the endpoints, not silently black-holed.
+func TestAutoRepairTerminalWhenNoPath(t *testing.T) {
+	f := newFixture(t, Config{MNs: 2, AutoRepair: true, RepairMaxRetries: 2, RepairBackoff: time.Millisecond})
+	Listen(f.stacks[15], 80, false, func(s *Stream) { s.OnData(func([]byte) {}) })
+	client := NewClient(f.stacks[0], f.mc)
+	target := f.hostIP(15).String()
+	var downErr error
+	var downID uint64
+	f.mc.OnChannelDown = func(id uint64, initiator addr.IP, err error) {
+		downID, downErr = id, err
+	}
+	established := false
+	client.Dial(target, 80, func(s *Stream, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		established = true
+		s.Send(pattern(100_000))
+	})
+	f.eng.RunFor(5 * time.Millisecond)
+	if !established {
+		t.Fatal("channel never established")
+	}
+	info, _ := client.Channel(target)
+	// The responder's edge switch is its only uplink: no repair can work.
+	respEdge := f.graph.Node(f.graph.Hosts()[15]).Ports[0].Peer
+	f.net.SetSwitchDown(respEdge, true)
+	f.eng.RunUntil(sim.Time(5 * time.Second))
+	if downErr == nil {
+		t.Fatal("unrepairable channel was never declared dead")
+	}
+	if downID != info.ID {
+		t.Fatalf("wrong channel declared dead: %d, want %d", downID, info.ID)
+	}
+	if f.mc.LiveChannels() != 0 {
+		t.Fatalf("dead channel still live at the MC: %d", f.mc.LiveChannels())
+	}
+	if f.mc.RepairFailures != 1 {
+		t.Fatalf("RepairFailures = %d", f.mc.RepairFailures)
+	}
+}
+
+// TestAutoRepairWithLossyControlChannel: the whole detect→repair loop must
+// converge even when every southbound message can be lost.
+func TestAutoRepairWithLossyControlChannel(t *testing.T) {
+	f := newFixture(t, Config{MNs: 3, AutoRepair: true})
+	f.mc.Ch.LossRate = 0.2
+	f.mc.Ch.LossSeed = 11
+	data := pattern(300_000)
+	var got []byte
+	Listen(f.stacks[15], 80, false, func(s *Stream) {
+		s.OnData(func(b []byte) { got = append(got, b...) })
+	})
+	client := NewClient(f.stacks[0], f.mc)
+	target := f.hostIP(15).String()
+	client.Dial(target, 80, func(s *Stream, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		s.Send(data)
+	})
+	// Establishment itself rides the lossy control channel; give the
+	// retransmission machinery room before injecting the failure.
+	f.eng.RunFor(50 * time.Millisecond)
+	info, ok := client.Channel(target)
+	if !ok {
+		t.Fatalf("channel not established under %v loss (retransmits=%d)", f.mc.Ch.LossRate, f.mc.Ch.Retransmits)
+	}
+	cutFirstInterSwitchLink(t, f, info.Flows[0].Path)
+	f.eng.RunUntil(sim.Time(60 * time.Second))
+	if !bytes.Equal(got, data) {
+		t.Fatalf("lossy control channel broke the transfer: %d/%d", len(got), len(data))
+	}
+	if f.mc.Ch.Retransmits == 0 {
+		t.Fatal("loss rate had no effect (test not exercising retransmission)")
+	}
+	if f.mc.Repairs == 0 {
+		t.Fatal("no repair recorded")
+	}
+}
+
+// TestAutoRepairViaProber: a silent switch failure (no port-status event)
+// is detected by the liveness prober and healed through the same path.
+func TestAutoRepairViaProber(t *testing.T) {
+	f := newFixture(t, Config{MNs: 2, AutoRepair: true, ProbeInterval: 5 * time.Millisecond})
+	data := pattern(200_000)
+	var got []byte
+	Listen(f.stacks[15], 80, false, func(s *Stream) {
+		s.OnData(func(b []byte) { got = append(got, b...) })
+	})
+	client := NewClient(f.stacks[0], f.mc)
+	target := f.hostIP(15).String()
+	client.Dial(target, 80, func(s *Stream, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		s.Send(data)
+	})
+	f.eng.RunFor(2 * time.Millisecond)
+	info, _ := client.Channel(target)
+	var victim topo.NodeID = -1
+	for _, node := range info.Flows[0].Path[2 : len(info.Flows[0].Path)-2] {
+		if f.graph.Node(node).Kind == topo.KindSwitch {
+			victim = node
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("path too short for a middle switch")
+	}
+	f.net.SetSwitchDownQuiet(victim, true)
+	f.eng.RunUntil(sim.Time(30 * time.Second))
+	if !bytes.Equal(got, data) {
+		t.Fatalf("silent failure broke the transfer: %d/%d", len(got), len(data))
+	}
+	if f.mc.prober.Deaths == 0 {
+		t.Fatal("prober never declared the victim dead")
+	}
+	f.mc.StopProber()
+}
+
+// TestStaleRulesPurgedOnSwitchRestore: rules that could not be deleted from
+// a dead switch are removed when it comes back.
+func TestStaleRulesPurgedOnSwitchRestore(t *testing.T) {
+	f := newFixture(t, Config{MNs: 2, AutoRepair: true})
+	f.mc.Ch.MaxRetries = 2 // keep the give-up path short
+	Listen(f.stacks[15], 80, false, func(s *Stream) { s.OnData(func([]byte) {}) })
+	client := NewClient(f.stacks[0], f.mc)
+	target := f.hostIP(15).String()
+	client.Dial(target, 80, func(s *Stream, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		s.Send(pattern(50_000))
+	})
+	f.eng.RunFor(2 * time.Millisecond)
+	info, _ := client.Channel(target)
+	var victim topo.NodeID = -1
+	for _, node := range info.Flows[0].Path[2 : len(info.Flows[0].Path)-2] {
+		if f.graph.Node(node).Kind == topo.KindSwitch {
+			victim = node
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("path too short for a middle switch")
+	}
+	f.net.SetSwitchDown(victim, true)
+	f.eng.RunFor(2 * time.Second)
+	mflowRules := func() int {
+		n := 0
+		for _, e := range f.net.Switch(victim).Table.Entries() {
+			if e.Cookie >= 2 { // above CookieCommon: m-flow epochs
+				n++
+			}
+		}
+		return n
+	}
+	if mflowRules() == 0 {
+		t.Fatal("dead switch lost its rules spontaneously (nothing to purge)")
+	}
+	f.net.SetSwitchDown(victim, false)
+	f.eng.RunFor(2 * time.Second)
+	if n := mflowRules(); n != 0 {
+		t.Fatalf("restored switch still holds %d stale m-flow rules", n)
+	}
+	if len(f.mc.staleCookies[victim]) != 0 {
+		t.Fatalf("stale cookie bookkeeping not drained: %v", f.mc.staleCookies[victim])
+	}
+}
+
+// TestIDRecyclingAcrossRepairEpochs: repairs must not leak or churn flow
+// IDs — the same IDs survive every epoch, and close/re-establish cycles
+// recycle them instead of growing the allocator.
+func TestIDRecyclingAcrossRepairEpochs(t *testing.T) {
+	f := newFixture(t, Config{MNs: 2, AutoRepair: true})
+	Listen(f.stacks[15], 80, false, func(s *Stream) { s.OnData(func([]byte) {}) })
+	client := NewClient(f.stacks[0], f.mc)
+	target := f.hostIP(15).String()
+
+	for cycle := 0; cycle < 5; cycle++ {
+		client.Dial(target, 80, func(s *Stream, err error) {
+			if err != nil {
+				t.Fatalf("cycle %d dial: %v", cycle, err)
+			}
+		})
+		f.eng.RunFor(2 * time.Millisecond)
+		info, _ := client.Channel(target)
+		idsBefore := append([]uint32(nil), f.mc.channels[info.ID].flowIDs...)
+		// Two repair epochs per cycle, via real failure events.
+		for rep := 0; rep < 2; rep++ {
+			node, port := cutFirstInterSwitchLink(t, f, info.Flows[0].Path)
+			f.eng.RunFor(50 * time.Millisecond)
+			f.net.SetLinkDown(node, port, false) // restore for the next cycle
+			f.eng.RunFor(10 * time.Millisecond)
+		}
+		st := f.mc.channels[info.ID]
+		if st.epoch < 2 {
+			t.Fatalf("cycle %d: only %d repair epochs happened", cycle, st.epoch)
+		}
+		if len(st.flowIDs) != len(idsBefore) {
+			t.Fatalf("cycle %d: flow IDs churned across epochs: %v -> %v", cycle, idsBefore, st.flowIDs)
+		}
+		for i, id := range st.flowIDs {
+			if id != idsBefore[i] {
+				t.Fatalf("cycle %d: flow ID %d changed across repair: %d -> %d", cycle, i, idsBefore[i], id)
+			}
+		}
+		if err := client.CloseChannel(target, nil); err != nil {
+			t.Fatalf("cycle %d close: %v", cycle, err)
+		}
+		f.eng.RunFor(10 * time.Millisecond)
+		if got := f.mc.flowIDs.inUse(); got != 0 {
+			t.Fatalf("cycle %d: %d flow IDs leaked", cycle, got)
+		}
+	}
+	// Recycling: 5 cycles x 1 flow x 2 IDs never allocate more than the
+	// high-water mark of one cycle.
+	if grown := f.mc.flowIDs.next - f.mc.flowIDs.lo; grown > 2 {
+		t.Fatalf("allocator grew to %d fresh IDs; recycling broken", grown)
+	}
+}

@@ -77,7 +77,33 @@ type Config struct {
 	// IDSpace means the whole flow-ID space.
 	InstanceID uint32
 	IDSpace    IDRange
+
+	// AutoRepair subscribes the MC to fabric failure events (port-status
+	// and switch-liveness notifications) and repairs every affected channel
+	// automatically, with bounded retries — no manual RepairChannel calls.
+	AutoRepair bool
+
+	// RepairMaxRetries bounds repair attempts per failure burst before the
+	// channel is declared dead to its endpoints (OnChannelDown). Zero means
+	// DefaultRepairMaxRetries; negative allows a single attempt.
+	RepairMaxRetries int
+
+	// RepairBackoff is the delay before the second repair attempt; it
+	// doubles per attempt, capped at 16x. Zero means DefaultRepairBackoff.
+	RepairBackoff time.Duration
+
+	// ProbeInterval, when positive, starts a control-plane liveness prober
+	// that catches silent switch failures (no port-status event) and feeds
+	// them into the same self-healing path. The prober reschedules itself
+	// forever, so drive the engine with RunUntil/RunFor, not Run.
+	ProbeInterval time.Duration
 }
+
+// Self-healing defaults.
+const (
+	DefaultRepairMaxRetries = 6
+	DefaultRepairBackoff    = time.Millisecond
+)
 
 // IDRange is a half-open flow-ID interval [Lo, Hi).
 type IDRange struct{ Lo, Hi uint32 }
@@ -156,6 +182,7 @@ type ChannelInfo struct {
 
 // channelState is the MC's bookkeeping for one live channel.
 type channelState struct {
+	id        uint64
 	info      *ChannelInfo
 	initiator addr.IP
 	opts      ChannelOptions
@@ -165,8 +192,9 @@ type channelState struct {
 	groups    []groupRef           // partial-multicast groups to clean up
 	entries   []addr.IP
 	finals    []addr.IP
-	res       []flowRes // per-flow durable resources (survive repairs)
-	links     []linkKey // directed links carrying this channel's m-flows
+	res       []flowRes     // per-flow durable resources (survive repairs)
+	links     []linkKey     // directed links carrying this channel's m-flows
+	nodes     []topo.NodeID // switches on this channel's paths
 }
 
 // flowRes are the parts of an m-flow that must survive a path repair so
@@ -225,6 +253,36 @@ type MC struct {
 	// PathLeastLoaded.
 	linkLoad map[linkKey]int
 
+	// linkChannels and nodeChannels index live channels by the directed
+	// links and switches their paths cross — the self-healing layer's
+	// failure→victims lookup.
+	linkChannels map[linkKey]map[uint64]bool
+	nodeChannels map[topo.NodeID]map[uint64]bool
+
+	// repairJobs serializes self-healing per channel: one job per channel
+	// at a time; overlapping failures mark the job dirty for re-check.
+	repairJobs map[uint64]*repairJob
+
+	// staleCookies remembers rule epochs that could not be deleted from a
+	// dead switch; they are purged when the switch comes back.
+	staleCookies map[topo.NodeID][]uint64
+
+	// prober drives silent-failure detection when Cfg.ProbeInterval > 0.
+	prober     *ctrlplane.Prober
+	stopProber func()
+
+	// OnRepair (may be nil) observes every completed self-healing job,
+	// successful or terminal. OnChannelDown (may be nil) fires when a
+	// channel is abandoned because no live path exists after all retries;
+	// the MC closes the channel, so endpoints see a terminal error rather
+	// than a silent black hole.
+	OnRepair      func(RepairEvent)
+	OnChannelDown func(id uint64, initiator addr.IP, err error)
+
+	// Repairs and RepairFailures count completed self-healing jobs.
+	Repairs        uint64
+	RepairFailures uint64
+
 	reach reachability
 
 	// Requests counts channel-establishment requests served (ablation of
@@ -257,20 +315,24 @@ func NewMC(net *netsim.Network, cfg Config) (*MC, error) {
 		return nil, fmt.Errorf("mic: ID space [%d, %d) invalid for %d-bit flow IDs", idLo, idHi, cfg.Widths.FPart)
 	}
 	mc := &MC{
-		Net:        net,
-		Ch:         ctrlplane.NewChannel(net),
-		Cfg:        cfg,
-		rng:        sim.NewRNG(cfg.Seed),
-		params:     make(map[topo.NodeID]maga.Params),
-		gens:       make(map[topo.NodeID]*maga.Generator),
-		sids:       make(map[topo.NodeID]uint32),
-		flowIDs:    newIDAllocator(idLo, idHi),
-		hidden:     make(map[string]addr.IP),
-		channels:   make(map[uint64]*channelState),
-		entryInUse: make(map[[2]addr.IP]bool),
-		linkLoad:   make(map[linkKey]int),
-		nextChan:   uint64(cfg.InstanceID) << 32,
-		nextGroup:  cfg.InstanceID << 24,
+		Net:          net,
+		Ch:           ctrlplane.NewChannel(net),
+		Cfg:          cfg,
+		rng:          sim.NewRNG(cfg.Seed),
+		params:       make(map[topo.NodeID]maga.Params),
+		gens:         make(map[topo.NodeID]*maga.Generator),
+		sids:         make(map[topo.NodeID]uint32),
+		flowIDs:      newIDAllocator(idLo, idHi),
+		hidden:       make(map[string]addr.IP),
+		channels:     make(map[uint64]*channelState),
+		entryInUse:   make(map[[2]addr.IP]bool),
+		linkLoad:     make(map[linkKey]int),
+		linkChannels: make(map[linkKey]map[uint64]bool),
+		nodeChannels: make(map[topo.NodeID]map[uint64]bool),
+		repairJobs:   make(map[uint64]*repairJob),
+		staleCookies: make(map[topo.NodeID][]uint64),
+		nextChan:     uint64(cfg.InstanceID) << 32,
+		nextGroup:    cfg.InstanceID << 24,
 	}
 	mc.pathRng = mc.rng.Stream(fmt.Sprintf("paths-%d", cfg.InstanceID))
 
@@ -295,6 +357,9 @@ func NewMC(net *netsim.Network, cfg Config) (*MC, error) {
 	}
 	mc.reach = computeReachability(net.Graph)
 	net.SetController(mc)
+	if cfg.AutoRepair {
+		mc.enableAutoRepair()
+	}
 	return mc, nil
 }
 

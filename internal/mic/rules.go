@@ -97,13 +97,14 @@ func (mc *MC) computeChannel(initiator addr.IP, target string, opts ChannelOptio
 	}
 	mc.Net.CPU.Charge("mc", time.Duration(opts.MFlows)*mc.Cfg.ComputeCost)
 
+	id := mc.nextChan
+	mc.nextChan++
 	st := &channelState{
+		id:        id,
 		initiator: initiator,
 		opts:      opts,
 		switches:  make(map[topo.NodeID]bool),
 	}
-	id := mc.nextChan
-	mc.nextChan++
 	info := &ChannelInfo{ID: id, Responder: respIP}
 	var mods []ctrlplane.Mod
 
@@ -445,7 +446,9 @@ func (mc *MC) pickPath(cands []topo.Path) topo.Path {
 }
 
 // chargePathLoad records one m-flow's occupancy on every directed link of
-// its path (both directions), for PathLeastLoaded and for teardown.
+// its path (both directions) — for PathLeastLoaded and teardown — and
+// indexes the channel by every link and switch it crosses, so a failure
+// event maps to its victim channels in one lookup.
 func (mc *MC) chargePathLoad(st *channelState, path topo.Path) {
 	g := mc.Net.Graph
 	for i := 0; i+1 < len(path); i++ {
@@ -454,17 +457,53 @@ func (mc *MC) chargePathLoad(st *channelState, path topo.Path) {
 		mc.linkLoad[fwd]++
 		mc.linkLoad[rev]++
 		st.links = append(st.links, fwd, rev)
+		for _, lk := range [2]linkKey{fwd, rev} {
+			set := mc.linkChannels[lk]
+			if set == nil {
+				set = make(map[uint64]bool)
+				mc.linkChannels[lk] = set
+			}
+			set[st.id] = true
+		}
+	}
+	for _, node := range path {
+		if g.Node(node).Kind != topo.KindSwitch {
+			continue
+		}
+		st.nodes = append(st.nodes, node)
+		set := mc.nodeChannels[node]
+		if set == nil {
+			set = make(map[uint64]bool)
+			mc.nodeChannels[node] = set
+		}
+		set[st.id] = true
 	}
 }
 
-// releaseLoad returns a channel's link occupancy.
+// releaseLoad returns a channel's link occupancy and drops it from the
+// failure indexes.
 func (mc *MC) releaseLoad(st *channelState) {
 	for _, lk := range st.links {
 		if mc.linkLoad[lk] > 0 {
 			mc.linkLoad[lk]--
 		}
+		if set := mc.linkChannels[lk]; set != nil {
+			delete(set, st.id)
+			if len(set) == 0 {
+				delete(mc.linkChannels, lk)
+			}
+		}
 	}
 	st.links = nil
+	for _, node := range st.nodes {
+		if set := mc.nodeChannels[node]; set != nil {
+			delete(set, st.id)
+			if len(set) == 0 {
+				delete(mc.nodeChannels, node)
+			}
+		}
+	}
+	st.nodes = nil
 }
 
 // alivePaths filters out paths crossing failed links or switches.
@@ -548,21 +587,37 @@ func (mc *MC) RepairChannel(id uint64, cb func(error)) {
 			mc.Net.Switch(gr.node).Table.DeleteGroup(gr.id)
 		}
 	}
-	mc.Ch.InstallAll(mods, func() {
-		remaining := len(oldSwitches)
-		if remaining == 0 {
+	mc.Ch.InstallAllResult(mods, func(failed int) {
+		// The channel is repaired once the new epoch is installed; the old
+		// epoch's deletion is housekeeping that proceeds in the background
+		// (and may have to wait for dead switches to resurrect).
+		if failed > 0 {
+			cb(fmt.Errorf("mic: repair of channel %d incomplete: %d rule installs unacknowledged", id, failed))
+		} else {
 			cb(nil)
-			return
 		}
-		for node := range oldSwitches {
-			mc.Ch.DeleteByCookie(mc.Net.Switch(node), oldCookie, func(int) {
-				remaining--
-				if remaining == 0 {
-					cb(nil)
-				}
-			})
-		}
+		mc.purgeOldEpoch(oldSwitches, oldCookie)
 	})
+}
+
+// purgeOldEpoch deletes a superseded rule epoch from every switch it was
+// installed on. Dead switches — and live switches that never acknowledge
+// the delete — are remembered in staleCookies and purged when they come
+// back (a restarting switch reconnects with whatever rules it had).
+func (mc *MC) purgeOldEpoch(switches map[topo.NodeID]bool, cookie uint64) {
+	for node := range switches {
+		node := node
+		sw := mc.Net.Switch(node)
+		if sw.Down {
+			mc.staleCookies[node] = append(mc.staleCookies[node], cookie)
+			continue
+		}
+		mc.Ch.DeleteByCookie(sw, cookie, func(removed int) {
+			if removed < 0 {
+				mc.staleCookies[node] = append(mc.staleCookies[node], cookie)
+			}
+		})
+	}
 }
 
 // poolAhead returns plausible entry addresses: hosts beyond firstSwitchPos

@@ -122,6 +122,49 @@ type TapEvent struct {
 // observing").
 type Tap func(TapEvent)
 
+// EventKind classifies a fabric state-change notification.
+type EventKind int
+
+// Fabric event kinds, modeled on OpenFlow port-status and connection-state
+// messages.
+const (
+	PortDown EventKind = iota
+	PortUp
+	SwitchDown
+	SwitchUp
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case PortDown:
+		return "port-down"
+	case PortUp:
+		return "port-up"
+	case SwitchDown:
+		return "switch-down"
+	case SwitchUp:
+		return "switch-up"
+	}
+	return "unknown"
+}
+
+// Event is one fabric state-change notification: the substitute for
+// OpenFlow OFPT_PORT_STATUS and controller connection loss. Port events
+// carry the (Node, Port) whose effective liveness changed; switch events
+// carry the node only (Port is -1).
+type Event struct {
+	Kind EventKind
+	Node topo.NodeID
+	Port int
+	At   sim.Time
+}
+
+// Listener receives fabric events. Listeners run synchronously at the
+// instant the failure occurs; anything latency-sensitive must reschedule on
+// the engine (the control plane adds its own notification delay).
+type Listener func(Event)
+
 // Stats aggregates fabric-wide counters.
 type Stats struct {
 	Delivered uint64 // packets handed to host stacks
@@ -132,14 +175,19 @@ type Stats struct {
 	TxBytes   uint64 // bytes serialized onto links
 }
 
-// linkDir is the state of one direction of one cable.
+// linkDir is the state of one direction of one cable. Link failure and
+// switch failure are tracked as independent causes: a cable cut with
+// SetLinkDown stays cut when an attached switch crashes and later restores.
 type linkDir struct {
 	busyUntil sim.Time
 	queued    int
 	txBytes   uint64
 	drops     uint64
-	down      bool
+	linkDown  bool // failed via SetLinkDown
+	swDown    int  // number of failed endpoint switches darkening this cable
 }
+
+func (d *linkDir) down() bool { return d.linkDown || d.swDown > 0 }
 
 // Network binds a topology to the event engine.
 type Network struct {
@@ -149,11 +197,12 @@ type Network struct {
 	Cfg   Config
 	Stats Stats
 
-	switches map[topo.NodeID]*Switch
-	hosts    map[topo.NodeID]*Host
-	dirs     map[portKey]*linkDir
-	taps     map[topo.NodeID][]Tap
-	lossRNG  *sim.RNG
+	switches  map[topo.NodeID]*Switch
+	hosts     map[topo.NodeID]*Host
+	dirs      map[portKey]*linkDir
+	taps      map[topo.NodeID][]Tap
+	listeners []Listener
+	lossRNG   *sim.RNG
 }
 
 type portKey struct {
@@ -247,26 +296,94 @@ func (n *Network) fireTaps(id topo.NodeID, port int, dir Direction, p *packet.Pa
 	}
 }
 
-// SetLinkDown fails or restores the cable at (node, port), both directions.
-// Packets sent into a failed link are silently black-holed, as after a
-// physical cut.
-func (n *Network) SetLinkDown(node topo.NodeID, port int, down bool) {
-	peer := n.Graph.Node(node).Ports[port]
-	n.dirs[portKey{node, port}].down = down
-	n.dirs[portKey{peer.Peer, peer.PeerPort}].down = down
+// Notify registers a listener for fabric events (port/switch liveness
+// changes). The Mimic Controller's self-healing layer subscribes here; so
+// can experiments and adversaries.
+func (n *Network) Notify(fn Listener) {
+	n.listeners = append(n.listeners, fn)
 }
 
-// LinkDown reports whether the cable at (node, port) is failed.
+func (n *Network) emit(kind EventKind, node topo.NodeID, port int) {
+	ev := Event{Kind: kind, Node: node, Port: port, At: n.Eng.Now()}
+	for _, l := range n.listeners {
+		l(ev)
+	}
+}
+
+// SetLinkDown fails or restores the cable at (node, port), both directions.
+// Packets sent into a failed link are silently black-holed, as after a
+// physical cut. Listeners receive a PortDown/PortUp event for each cable
+// end whose effective liveness changed.
+func (n *Network) SetLinkDown(node topo.NodeID, port int, down bool) {
+	peer := n.Graph.Node(node).Ports[port]
+	for _, pk := range [2]portKey{{node, port}, {peer.Peer, peer.PeerPort}} {
+		d := n.dirs[pk]
+		was := d.down()
+		d.linkDown = down
+		n.notifyPort(pk, was, d.down())
+	}
+}
+
+// notifyPort emits a port event if the effective liveness flipped.
+func (n *Network) notifyPort(pk portKey, was, now bool) {
+	if was == now {
+		return
+	}
+	kind := PortUp
+	if now {
+		kind = PortDown
+	}
+	n.emit(kind, pk.node, pk.port)
+}
+
+// LinkDown reports whether the cable at (node, port) is failed, for any
+// cause (direct cut or a failed endpoint switch).
 func (n *Network) LinkDown(node topo.NodeID, port int) bool {
-	return n.dirs[portKey{node, port}].down
+	return n.dirs[portKey{node, port}].down()
 }
 
 // SetSwitchDown fails or restores a whole switch: it stops forwarding and
-// every attached link goes dark.
+// every attached link goes dark. Restoring the switch re-lights only the
+// links it darkened — cables cut independently via SetLinkDown stay cut.
+// Listeners receive a SwitchDown/SwitchUp event plus port events for every
+// cable whose effective liveness changed.
 func (n *Network) SetSwitchDown(id topo.NodeID, down bool) {
-	n.switches[id].Down = down
-	for port := range n.Graph.Node(id).Ports {
-		n.SetLinkDown(id, port, down)
+	n.setSwitchDown(id, down, true)
+}
+
+// SetSwitchDownQuiet is SetSwitchDown without event emission: a silent
+// failure (wedged forwarding plane, dead management NIC) that only the
+// control plane's liveness prober can detect.
+func (n *Network) SetSwitchDownQuiet(id topo.NodeID, down bool) {
+	n.setSwitchDown(id, down, false)
+}
+
+func (n *Network) setSwitchDown(id topo.NodeID, down bool, notify bool) {
+	sw := n.switches[id]
+	if sw.Down == down {
+		return
+	}
+	sw.Down = down
+	delta := 1
+	if !down {
+		delta = -1
+	}
+	for port, p := range n.Graph.Node(id).Ports {
+		for _, pk := range [2]portKey{{id, port}, {p.Peer, p.PeerPort}} {
+			d := n.dirs[pk]
+			was := d.down()
+			d.swDown += delta
+			if notify {
+				n.notifyPort(pk, was, d.down())
+			}
+		}
+	}
+	if notify {
+		kind := SwitchUp
+		if down {
+			kind = SwitchDown
+		}
+		n.emit(kind, id, -1)
 	}
 }
 
@@ -291,7 +408,7 @@ func (n *Network) send(from topo.NodeID, port int, p *packet.Packet) {
 		return
 	}
 	dir := n.dirs[portKey{from, port}]
-	if dir.down {
+	if dir.down() {
 		n.Stats.LostDown++
 		return
 	}

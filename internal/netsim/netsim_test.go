@@ -410,3 +410,109 @@ func TestLossInjectionDeterministic(t *testing.T) {
 		t.Fatalf("loss injection nondeterministic: %d vs %d", a, b)
 	}
 }
+
+// TestFailureEvents: SetLinkDown and SetSwitchDown must notify listeners
+// with the right kinds, and only on effective liveness flips.
+func TestFailureEvents(t *testing.T) {
+	g, _ := topo.Linear(2) // h1-s1-s2-h2
+	eng := sim.New()
+	n := New(eng, g, Config{})
+	s1, s2 := g.Switches()[0], g.Switches()[1]
+	var got []Event
+	n.Notify(func(ev Event) { got = append(got, ev) })
+
+	port := n.Graph.PortTo(s1, s2)
+	n.SetLinkDown(s1, port, true)
+	downs := 0
+	for _, ev := range got {
+		if ev.Kind != PortDown {
+			t.Fatalf("unexpected event %v", ev)
+		}
+		downs++
+	}
+	if downs != 2 {
+		t.Fatalf("PortDown events = %d, want 2 (one per cable end)", downs)
+	}
+	// Re-failing an already-failed link is not a flip: no new events.
+	n.SetLinkDown(s1, port, true)
+	if len(got) != 2 {
+		t.Fatalf("duplicate failure re-notified: %d events", len(got))
+	}
+	got = got[:0]
+	n.SetLinkDown(s1, port, false)
+	if len(got) != 2 || got[0].Kind != PortUp || got[1].Kind != PortUp {
+		t.Fatalf("restore events wrong: %v", got)
+	}
+
+	got = got[:0]
+	n.SetSwitchDown(s2, true)
+	var swDowns, portDowns int
+	for _, ev := range got {
+		switch ev.Kind {
+		case SwitchDown:
+			swDowns++
+			if ev.Node != s2 || ev.Port != -1 {
+				t.Fatalf("switch event malformed: %v", ev)
+			}
+		case PortDown:
+			portDowns++
+		default:
+			t.Fatalf("unexpected event %v", ev)
+		}
+	}
+	// s2 has 2 cables (to s1 and h2), each with two ends.
+	if swDowns != 1 || portDowns != 4 {
+		t.Fatalf("switch failure events: %d switch, %d port", swDowns, portDowns)
+	}
+
+	// Quiet failures emit nothing.
+	n.SetSwitchDown(s2, false)
+	got = got[:0]
+	n.SetSwitchDownQuiet(s1, true)
+	if len(got) != 0 {
+		t.Fatalf("quiet failure emitted %d events", len(got))
+	}
+	if !n.Switch(s1).Down || !n.LinkDown(s1, port) {
+		t.Fatal("quiet failure did not take effect")
+	}
+}
+
+// TestSwitchRestoreKeepsIndependentLinkFailures is the cause-tracking fix:
+// restoring a switch must not resurrect a cable that was cut independently.
+func TestSwitchRestoreKeepsIndependentLinkFailures(t *testing.T) {
+	g, _ := topo.Linear(2)
+	eng := sim.New()
+	n := New(eng, g, Config{})
+	s1, s2 := g.Switches()[0], g.Switches()[1]
+	port := n.Graph.PortTo(s1, s2)
+
+	n.SetLinkDown(s1, port, true) // independent cable cut
+	n.SetSwitchDown(s1, true)     // then the switch crashes
+	n.SetSwitchDown(s1, false)    // and restarts
+	if !n.LinkDown(s1, port) {
+		t.Fatal("switch restore resurrected an independently failed link")
+	}
+	// The host-facing cable, darkened only by the crash, is back.
+	hostPort := n.Graph.PortTo(s1, g.Hosts()[0])
+	if n.LinkDown(s1, hostPort) {
+		t.Fatal("switch restore left its own links dark")
+	}
+	n.SetLinkDown(s1, port, false)
+	if n.LinkDown(s1, port) {
+		t.Fatal("link restore failed")
+	}
+
+	// Adjacent crashes overlap on the shared cable: both must restore
+	// before it carries traffic again.
+	n.SetSwitchDown(s1, true)
+	n.SetSwitchDown(s2, true)
+	n.SetSwitchDown(s1, false)
+	if !n.LinkDown(s1, port) {
+		t.Fatal("cable lit while peer switch still down")
+	}
+	n.SetSwitchDown(s2, false)
+	if n.LinkDown(s1, port) {
+		t.Fatal("cable dark after both switches restored")
+	}
+	_ = eng
+}
