@@ -34,7 +34,7 @@ func main() {
 		to       = flag.Int("to", 15, "responder host index (0-15)")
 		seed     = flag.Uint64("seed", 1, "RNG seed")
 		latency  = flag.Bool("latency", false, "also measure 10-byte ping-pong latency")
-		scenario = flag.String("scenario", "", "fault scenario: chaos (MIC schemes only)")
+		scenario = flag.String("scenario", "", "fault scenario: chaos | lossy (MIC schemes only)")
 	)
 	flag.Parse()
 
@@ -55,6 +55,13 @@ func main() {
 			os.Exit(2)
 		}
 		runChaos(s == harness.SchemeMICSSL, *from, *to, *mns, *mflows, *fanout, *size, *seed)
+		return
+	case "lossy":
+		if s != harness.SchemeMICTCP && s != harness.SchemeMICSSL {
+			fmt.Fprintln(os.Stderr, "micsim: -scenario lossy needs a MIC scheme (the health machinery lives in the stream)")
+			os.Exit(2)
+		}
+		runLossy(s == harness.SchemeMICSSL, *from, *to, *mns, *mflows, *fanout, *size, *seed)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "micsim: unknown scenario %q\n", *scenario)
@@ -152,6 +159,86 @@ func runMIC(secure bool, from, to, mns, mflows, fanout, size int, seed uint64) {
 		setup, float64(size)*8/wall.Seconds()/1e6, wall, net.CPU.Total())
 	for i, f := range info.Flows {
 		fmt.Printf("m-flow %d: entry=%v path=%s MNs=%d\n", i, f.Entry, f.Path.Render(g), len(f.MNs))
+	}
+}
+
+// runLossy plays the gray-failure storm — per-link loss, packet mangling,
+// a silent blackhole — against a MIC transfer and reports what the
+// degraded-mode data plane did about it: per-m-flow health, slice
+// retransmissions, rebalanced traffic split. Unlike -scenario chaos, most
+// of these faults never raise a control-plane event; surviving them is the
+// endpoints' job.
+func runLossy(secure bool, from, to, mns, mflows, fanout, size int, seed uint64) {
+	g, err := topo.FatTree(4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	mc, err := mic.NewMC(net, mic.Config{
+		MNs: mns, MFlows: mflows, MulticastFanout: fanout, Seed: seed,
+		AutoRepair: true, RepairMaxRetries: 20,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var stacks []*transport.Stack
+	for _, hid := range g.Hosts() {
+		stacks = append(stacks, transport.NewStack(net.Host(hid)))
+	}
+	got := 0
+	var start, end sim.Time
+	var rstr *mic.Stream
+	mic.Listen(stacks[to], 80, secure, func(s *mic.Stream) {
+		rstr = s
+		s.OnData(func(b []byte) {
+			got += len(b)
+			if got >= size {
+				end = eng.Now()
+			}
+		})
+	})
+	client := mic.NewClient(stacks[from], mc)
+	client.Secure = secure
+	data := make([]byte, size)
+	var str *mic.Stream
+	client.Dial(stacks[to].Host.IP.String(), 80, func(s *mic.Stream, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		str = s
+		start = eng.Now()
+		s.Send(data)
+	})
+
+	sched, err := chaos.LossyScenario(g, seed, chaos.LossyConfig{From: g.Hosts()[from], To: g.Hosts()[to]})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("lossy schedule (seed %d):\n%s", seed, sched.Render(g))
+	runner := chaos.NewRunner(net, mc.Ch)
+	runner.OnFault = func(f chaos.Fault) {
+		fmt.Printf("%12v  fault  %s\n", time.Duration(eng.Now()), f.Kind)
+	}
+	runner.Play(sched)
+
+	eng.Run()
+	if got < size {
+		fmt.Fprintf(os.Stderr, "micsim: transfer incomplete (%d/%d bytes)\n", got, size)
+		os.Exit(1)
+	}
+	wall := time.Duration(end - start)
+	fmt.Printf("delivered %d bytes in %v (%.1f Mbps) through %d faults\n",
+		got, wall, float64(size)*8/wall.Seconds()/1e6, len(runner.Applied))
+	fmt.Printf("slice retransmits=%d duplicate slices=%d repairs=%d\n",
+		str.Retransmits(), rstr.SlicesDup, mc.Repairs)
+	for i, h := range str.Health() {
+		fmt.Printf("m-flow %d: state=%v srtt=%v slices-out=%d acked=%d retx-away=%d\n",
+			i, h.State, h.SRTT, h.SlicesOut, h.SlicesAcked, h.Retx)
 	}
 }
 

@@ -1,5 +1,6 @@
 // Package chaos injects deterministic fault schedules into the simulated
-// fabric: link cuts and flaps, switch crashes and restarts, southbound
+// fabric: link cuts and flaps, switch crashes and restarts, gray link
+// degradation (loss/duplication/reordering/corruption storms), southbound
 // control-channel degradation, and correlated whole-pod failures. A
 // Schedule is data — reproducible from a seed, printable, and replayable —
 // and a Runner turns it into SetLinkDown/SetSwitchDown/LossRate calls at
@@ -40,6 +41,12 @@ const (
 	// PodRestart restores them all.
 	PodCrash
 	PodRestart
+	// LinkDegrade installs Profile as the per-link fault profile of the
+	// cable at (Node, Port) — loss, duplication, reordering, corruption —
+	// without any port-down event: the gray failure the control plane cannot
+	// see, only the data plane's health machinery. LinkClear removes it.
+	LinkDegrade
+	LinkClear
 )
 
 func (k Kind) String() string {
@@ -58,20 +65,25 @@ func (k Kind) String() string {
 		return "pod-crash"
 	case PodRestart:
 		return "pod-restart"
+	case LinkDegrade:
+		return "link-degrade"
+	case LinkClear:
+		return "link-clear"
 	}
 	return fmt.Sprintf("chaos.Kind(%d)", int(k))
 }
 
 // Fault is one scheduled fault. Which fields matter depends on Kind:
 // link faults use Node/Port, switch faults use Node, pod faults use Pod,
-// and ControlLoss uses Loss.
+// ControlLoss uses Loss, and LinkDegrade uses Node/Port/Profile.
 type Fault struct {
-	At   time.Duration // offset from the moment the schedule starts playing
-	Kind Kind
-	Node topo.NodeID
-	Port int
-	Pod  int
-	Loss float64
+	At      time.Duration // offset from the moment the schedule starts playing
+	Kind    Kind
+	Node    topo.NodeID
+	Port    int
+	Pod     int
+	Loss    float64
+	Profile netsim.FaultProfile
 }
 
 func (f Fault) render(g *topo.Graph) string {
@@ -85,6 +97,14 @@ func (f Fault) render(g *topo.Graph) string {
 		return fmt.Sprintf("%v %s rate=%.2f", f.At, f.Kind, f.Loss)
 	case PodCrash, PodRestart:
 		return fmt.Sprintf("%v %s pod%d", f.At, f.Kind, f.Pod)
+	case LinkDegrade:
+		peer := g.Node(f.Node).Ports[f.Port].Peer
+		return fmt.Sprintf("%v %s %s<->%s loss=%.2f dup=%.2f reorder=%.2f corrupt=%.2f",
+			f.At, f.Kind, g.Node(f.Node).Name, g.Node(peer).Name,
+			f.Profile.Loss, f.Profile.Dup, f.Profile.Reorder, f.Profile.Corrupt)
+	case LinkClear:
+		peer := g.Node(f.Node).Ports[f.Port].Peer
+		return fmt.Sprintf("%v %s %s<->%s", f.At, f.Kind, g.Node(f.Node).Name, g.Node(peer).Name)
 	}
 	return fmt.Sprintf("%v %s", f.At, f.Kind)
 }
@@ -229,6 +249,10 @@ func (r *Runner) apply(f Fault) {
 		for _, id := range PodSwitches(r.Net.Graph, f.Pod) {
 			r.Net.SetSwitchDown(id, false)
 		}
+	case LinkDegrade:
+		r.Net.SetLinkFault(f.Node, f.Port, f.Profile)
+	case LinkClear:
+		r.Net.ClearLinkFault(f.Node, f.Port)
 	}
 	r.Applied = append(r.Applied, f)
 	if r.OnFault != nil {
@@ -378,6 +402,109 @@ func Scenario(g *topo.Graph, seed uint64, cfg ScenarioConfig) (Schedule, error) 
 	s = append(s,
 		Fault{At: at, Kind: PodCrash, Pod: pod},
 		Fault{At: at + cfg.Outage, Kind: PodRestart, Pod: pod})
+
+	return s.sorted(), nil
+}
+
+// LossyConfig parameterizes LossyScenario. Zero fields pick defaults.
+type LossyConfig struct {
+	// From and To are the transfer endpoints. Both required.
+	From, To topo.NodeID
+
+	Start   time.Duration // first degradation time (default 5ms)
+	Spacing time.Duration // gap between acts (default 40ms)
+	Window  time.Duration // how long each degradation lasts (default 60ms)
+	Loss    float64       // loss rate of the moderate acts (default 0.2)
+}
+
+func (c LossyConfig) withDefaults() LossyConfig {
+	if c.Start <= 0 {
+		c.Start = 5 * time.Millisecond
+	}
+	if c.Spacing <= 0 {
+		c.Spacing = 40 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = 60 * time.Millisecond
+	}
+	if c.Loss <= 0 {
+		c.Loss = 0.2
+	}
+	return c
+}
+
+// LossyScenario builds a deterministic gray-failure storm for a fat-tree:
+// no link ever goes administratively down, so the MC sees nothing — every
+// fault is a silent per-link profile the endpoints' health machinery must
+// detect and route around. Three overlapping acts: a lossy uplink at the
+// initiator's edge, a mangled (dup+reorder+corrupt) uplink at the
+// responder's edge, and a full blackhole of one core switch's cable that
+// later clears on its own.
+func LossyScenario(g *topo.Graph, seed uint64, cfg LossyConfig) (Schedule, error) {
+	cfg = cfg.withDefaults()
+	if PodOfHost(g, cfg.From) == 0 || PodOfHost(g, cfg.To) == 0 {
+		return nil, fmt.Errorf("chaos: From/To must be fat-tree hosts")
+	}
+	rng := sim.NewRNG(seed).Stream("chaos-lossy")
+	var s Schedule
+	at := cfg.Start
+
+	aggUplinks := func(edgeID topo.NodeID) []int {
+		var out []int
+		for port, p := range g.Node(edgeID).Ports {
+			if strings.HasPrefix(g.Node(p.Peer).Name, "agg") {
+				out = append(out, port)
+			}
+		}
+		return out
+	}
+
+	// Act 1: cfg.Loss random loss on one uplink of the initiator's edge.
+	// Transport convergence territory — the m-flows crossing it degrade.
+	fromEdge := g.Node(cfg.From).Ports[0].Peer
+	up := aggUplinks(fromEdge)
+	if len(up) == 0 {
+		return nil, fmt.Errorf("chaos: initiator edge has no agg uplinks")
+	}
+	p1 := sim.Pick(rng, up)
+	s = append(s,
+		Fault{At: at, Kind: LinkDegrade, Node: fromEdge, Port: p1,
+			Profile: netsim.FaultProfile{Loss: cfg.Loss}},
+		Fault{At: at + cfg.Window, Kind: LinkClear, Node: fromEdge, Port: p1})
+	at += cfg.Spacing
+
+	// Act 2: a mangler on one uplink of the responder's edge — duplication,
+	// reordering and corruption at once, the worst kind of flaky optic.
+	toEdge := g.Node(cfg.To).Ports[0].Peer
+	up = aggUplinks(toEdge)
+	if len(up) == 0 {
+		return nil, fmt.Errorf("chaos: responder edge has no agg uplinks")
+	}
+	p2 := sim.Pick(rng, up)
+	s = append(s,
+		Fault{At: at, Kind: LinkDegrade, Node: toEdge, Port: p2,
+			Profile: netsim.FaultProfile{Loss: cfg.Loss / 2, Dup: 0.1, Reorder: 0.2, Corrupt: 0.05}},
+		Fault{At: at + cfg.Window, Kind: LinkClear, Node: toEdge, Port: p2})
+	at += cfg.Spacing
+
+	// Act 3: silent blackhole of one core switch's first cable. Any m-flow
+	// routed across it stalls completely until the profile clears — the MC
+	// never hears a port-down, so only endpoint health can respond.
+	cores := switchesByPrefix(g, "core", 0)
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("chaos: no core switches")
+	}
+	core := sim.Pick(rng, cores)
+	var corePort = -1
+	for port := range g.Node(core).Ports {
+		if corePort < 0 || port < corePort {
+			corePort = port
+		}
+	}
+	s = append(s,
+		Fault{At: at, Kind: LinkDegrade, Node: core, Port: corePort,
+			Profile: netsim.FaultProfile{Loss: 1}},
+		Fault{At: at + cfg.Window, Kind: LinkClear, Node: core, Port: corePort})
 
 	return s.sorted(), nil
 }

@@ -118,7 +118,7 @@ func TestMultiFlowShapeMatchesFig9b(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"7", "8", "9a", "9b", "9c", "a1", "a2", "a3", "a4", "s1", "s2", "s3", "s4", "s5", "s6", "sc"}
+	want := []string{"7", "8", "9a", "9b", "9c", "a1", "a2", "a3", "a4", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "sc"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -237,6 +237,38 @@ func TestExperimentA4Quick(t *testing.T) {
 	e, _ := Find("a4")
 	if _, err := e.Run(quick); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestExperimentS7Quick(t *testing.T) {
+	e, _ := Find("s7")
+	res, err := e.Run(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table.String(), "20%") {
+		t.Fatalf("missing loss tiers:\n%s", res.Table)
+	}
+	// At 20% single-link loss, MIC's health layer must beat both plain TCP
+	// (which has no second path) and its own ablation (which has the paths
+	// but not the machinery).
+	tcp, err := s7TCPTrial(0.2, 1<<20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	micOn, err := s7MICTrial(0.2, 1<<20, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	micOff, err := s7MICTrial(0.2, 1<<20, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if micOn <= tcp {
+		t.Fatalf("MIC F=4 (%.0f Mbps) should beat single-path TCP (%.0f Mbps) at 20%% loss", micOn, tcp)
+	}
+	if micOn <= micOff {
+		t.Fatalf("health machinery (%.0f Mbps) should beat its ablation (%.0f Mbps) at 20%% loss", micOn, micOff)
 	}
 }
 

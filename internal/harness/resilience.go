@@ -1,0 +1,252 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mic/internal/metrics"
+	"mic/internal/mic"
+	"mic/internal/netsim"
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "s7",
+		Title: "Data-plane resilience: goodput vs per-link loss (MIC vs TCP)",
+		Run:   runS7Resilience,
+	})
+}
+
+// runS7Resilience measures bulk goodput while one interior (agg<->core) link
+// on the transfer's path runs a gray fault: random per-frame loss the control
+// plane never sees. TCP has a single path, so every byte crosses the sick
+// link and go-back-N recovery caps its goodput. MIC slices the stream over
+// F=4 m-flows of which only one crosses the sick link; the per-m-flow health
+// monitor notices the slow flow, retransmits its overdue slices over healthy
+// flows, and rebalances the slicing weights away from it. The ablation
+// column (health machinery disabled) shows the same channel without the
+// resilience layer: the lossy m-flow's conn still recovers frame-by-frame,
+// but the stream must wait for it.
+func runS7Resilience(cfg RunConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	size := 4 << 20
+	if cfg.Quick {
+		size = 1 << 20
+	}
+	tbl := metrics.NewTable("link_loss", "tcp_mbps", "mic_f4_mbps", "mic_f4_nohealth_mbps")
+	for _, p := range []float64{0, 0.01, 0.05, 0.20} {
+		p := p
+		tcp, err := RunTrials(cfg.Trials, cfg.Seed, func(seed uint64) (float64, error) {
+			return s7TCPTrial(p, size, seed)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("s7 tcp loss=%g: %w", p, err)
+		}
+		micOn, err := RunTrials(cfg.Trials, cfg.Seed, func(seed uint64) (float64, error) {
+			return s7MICTrial(p, size, seed, false)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("s7 mic loss=%g: %w", p, err)
+		}
+		micOff, err := RunTrials(cfg.Trials, cfg.Seed, func(seed uint64) (float64, error) {
+			return s7MICTrial(p, size, seed, true)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("s7 mic-nohealth loss=%g: %w", p, err)
+		}
+		tbl.AddRow(fmt.Sprintf("%g%%", p*100), tcp.Mean(), micOn.Mean(), micOff.Mean())
+	}
+	return &Result{
+		ID: "s7", Title: "Goodput under a gray (lossy) interior link", Table: tbl,
+		Notes: []string{
+			"the faulted link is an agg<->core hop on the transfer's own path; loss is invisible to the control plane (no port-down event), so only endpoint machinery can react",
+			"TCP: single path, every segment crosses the sick link; MIC F=4: one m-flow crosses it, slices retransmit over the healthy three and weights rebalance away",
+			"mic_f4_nohealth: same channel with the health/retransmit/rebalance layer disabled — each m-flow's conn still recovers losses itself, but the stream is paced by its slowest quarter",
+			"channels use PathLeastLoaded so the four m-flows start with per-flow link diversity",
+		},
+	}, nil
+}
+
+// s7Cap bounds one trial's virtual time; a trial that misses it reports the
+// goodput of whatever arrived, rather than erroring.
+const s7Cap = 60 * time.Second
+
+// s7TCPTrial sends one bulk TCP transfer h0 -> h15 and returns its goodput
+// in Mbps, with the path's agg<->core hop degraded to the given loss rate.
+// The hop is discovered by tracing a warmup transfer's link counters.
+func s7TCPTrial(loss float64, size int, seed uint64) (float64, error) {
+	tb, err := newTestbed(SchemeTCP, seed, mic.Config{})
+	if err != nil {
+		return 0, err
+	}
+	const warm = 64 << 10
+	got, started := 0, false
+	var start, end sim.Time
+	tb.serve(SchemeTCP, 15, 80, func(s appStream) {
+		s.OnData(func(b []byte) {
+			got += len(b)
+			if started && got >= warm+size && end == 0 {
+				end = tb.eng.Now()
+			}
+		})
+	})
+	var dialErr error
+	data := payload(size)
+	tb.dial(SchemeTCP, 0, 15, 80, 0, func(s appStream, err error) {
+		if err != nil {
+			dialErr = err
+			return
+		}
+		s.Send(payload(warm))
+		tb.eng.After(3*time.Millisecond, func() {
+			node, port, ok := hottestCoreUplink(tb)
+			if !ok {
+				dialErr = fmt.Errorf("harness: warmup traced no agg<->core hop")
+				return
+			}
+			if loss > 0 {
+				tb.net.SetLinkFault(node, port, netsim.FaultProfile{Loss: loss})
+			}
+			started = true
+			start = tb.eng.Now()
+			s.Send(data)
+		})
+	})
+	tb.eng.RunUntil(sim.Time(s7Cap))
+	if dialErr != nil {
+		return 0, dialErr
+	}
+	return s7Goodput(got-warm, start, end, tb.eng.Now()), nil
+}
+
+// s7MICTrial sends one bulk MIC-TCP transfer h0 -> h15 over F=4 m-flows and
+// returns its goodput in Mbps, with an interior link crossed by exactly one
+// m-flow degraded to the given loss rate. disabled turns off the stream's
+// health/retransmit/rebalance machinery (the ablation).
+func s7MICTrial(loss float64, size int, seed uint64, disabled bool) (float64, error) {
+	tb, err := newTestbed(SchemeMICTCP, seed, mic.Config{
+		MNs: 2, MFlows: 4, PathPolicy: mic.PathLeastLoaded,
+	})
+	if err != nil {
+		return 0, err
+	}
+	got := 0
+	var start, end sim.Time
+	mic.Listen(tb.stacks[15], 80, false, func(s *mic.Stream) {
+		s.OnData(func(b []byte) {
+			got += len(b)
+			if got >= size && end == 0 {
+				end = tb.eng.Now()
+			}
+		})
+	})
+	client := mic.NewClient(tb.stacks[0], tb.mc)
+	client.Health = mic.HealthConfig{Disabled: disabled}
+	target := tb.hostIP(15).String()
+	var str *mic.Stream
+	var dialErr error
+	client.Dial(target, 80, func(s *mic.Stream, err error) {
+		if err != nil {
+			dialErr = err
+			return
+		}
+		str = s
+	})
+	tb.eng.RunFor(5 * time.Millisecond)
+	if dialErr != nil {
+		return 0, dialErr
+	}
+	if str == nil {
+		return 0, fmt.Errorf("harness: MIC stream not established in 5ms")
+	}
+	if loss > 0 {
+		info, ok := client.Channel(target)
+		if !ok {
+			return 0, fmt.Errorf("harness: no cached channel to %s", target)
+		}
+		node, port, ok := flowUniqueInteriorLink(tb.graph, info)
+		if !ok {
+			return 0, fmt.Errorf("harness: no m-flow has a flow-unique interior link")
+		}
+		tb.net.SetLinkFault(node, port, netsim.FaultProfile{Loss: loss})
+	}
+	start = tb.eng.Now()
+	str.Send(payload(size))
+	tb.eng.RunUntil(start + sim.Time(s7Cap))
+	return s7Goodput(got, start, end, tb.eng.Now()), nil
+}
+
+// s7Goodput converts one trial's byte count into Mbps. A finished trial is
+// scored over its true duration; one that blew the cap is scored over the
+// cap, crediting only what arrived.
+func s7Goodput(bytes int, start, end, now sim.Time) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	at := end
+	if at == 0 {
+		at = now
+	}
+	el := time.Duration(at - start)
+	if el <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / el.Seconds() / 1e6
+}
+
+// hottestCoreUplink returns the agg->core link direction that carried the
+// most bytes so far — with a single warmed-up flow, the path's core uplink.
+func hottestCoreUplink(tb *testbed) (topo.NodeID, int, bool) {
+	var bestNode topo.NodeID
+	bestPort := -1
+	var best uint64
+	for _, sid := range tb.graph.Switches() {
+		n := tb.graph.Node(sid)
+		if !strings.HasPrefix(n.Name, "agg") {
+			continue
+		}
+		for p, port := range n.Ports {
+			if !strings.HasPrefix(tb.graph.Node(port.Peer).Name, "core") {
+				continue
+			}
+			if tx := tb.net.LinkTxBytes(sid, p); tx > best {
+				best, bestNode, bestPort = tx, sid, p
+			}
+		}
+	}
+	return bestNode, bestPort, bestPort >= 0
+}
+
+// flowUniqueInteriorLink finds an interior switch-switch hop (not adjacent
+// to either end's edge switch) crossed by exactly one of the channel's
+// m-flows — the right place for a gray fault that degrades one m-flow
+// without starving the rest.
+func flowUniqueInteriorLink(g *topo.Graph, info *mic.ChannelInfo) (topo.NodeID, int, bool) {
+	for fi := range info.Flows {
+		onOther := map[[2]topo.NodeID]bool{}
+		for j, fl := range info.Flows {
+			if j == fi {
+				continue
+			}
+			for i := 0; i+1 < len(fl.Path); i++ {
+				onOther[[2]topo.NodeID{fl.Path[i], fl.Path[i+1]}] = true
+				onOther[[2]topo.NodeID{fl.Path[i+1], fl.Path[i]}] = true
+			}
+		}
+		path := info.Flows[fi].Path
+		for i := 2; i+4 <= len(path); i++ {
+			a, b := path[i], path[i+1]
+			if g.Node(a).Kind != topo.KindSwitch || g.Node(b).Kind != topo.KindSwitch {
+				continue
+			}
+			if onOther[[2]topo.NodeID{a, b}] {
+				continue
+			}
+			return a, g.PortTo(a, b), true
+		}
+	}
+	return 0, -1, false
+}

@@ -5,9 +5,15 @@ import (
 	"fmt"
 	"time"
 
+	"mic/internal/addr"
 	"mic/internal/sim"
 	"mic/internal/transport"
 )
+
+// DefaultSetupTimeout bounds Dial setup (channel establishment plus all
+// m-flow handshakes) when Client.SetupTimeout is zero. Generous against
+// worst-case transport SYN retries, tiny against a hang.
+const DefaultSetupTimeout = 2 * time.Second
 
 // Client is the initiator-side MIC library: a socket-like API that hides
 // the channel request, m-flow connections and slicing. One Client serves
@@ -24,10 +30,20 @@ type Client struct {
 	// Opts are per-channel overrides (m-flow count, MN count, fanout).
 	Opts ChannelOptions
 
+	// Health tunes the per-m-flow health machinery of streams this client
+	// opens (health.go). The zero value enables it with defaults.
+	Health HealthConfig
+
+	// SetupTimeout bounds Dial setup; zero means DefaultSetupTimeout. A
+	// dial that has not produced a ready stream by the deadline fails with
+	// a descriptive error instead of hanging forever.
+	SetupTimeout time.Duration
+
 	rng      *sim.RNG
 	channels map[string]*cachedChannel
 	pending  map[string][]func(*ChannelInfo, error)
-	notifier uint64 // generation counter; bumping cancels the running notifier
+	streams  map[uint64][]*Stream // live streams by channel ID, in open order
+	notifier uint64               // generation counter; bumping cancels the running notifier
 }
 
 // cachedChannel tracks reuse for the idle notifier.
@@ -36,27 +52,84 @@ type cachedChannel struct {
 	lastUsed sim.Time
 }
 
-// NewClient builds a client for the host owning stack.
+// NewClient builds a client for the host owning stack. The client
+// subscribes to the MC's self-healing notifications: a successful repair
+// immediately re-probes every affected stream's m-flows, and a terminal
+// channel loss fails the affected streams with a clean error (and evicts
+// the dead channel from the reuse cache) instead of leaving them to hang.
 func NewClient(stack *transport.Stack, mc *MC) *Client {
-	return &Client{
+	c := &Client{
 		Stack:    stack,
 		MC:       mc,
 		rng:      sim.NewRNG(uint64(stack.Host.IP) ^ mc.Cfg.Seed ^ 0x5ac1e5),
 		channels: make(map[string]*cachedChannel),
 		pending:  make(map[string][]func(*ChannelInfo, error)),
+		streams:  make(map[uint64][]*Stream),
+	}
+	mc.SubscribeChannelDown(func(id uint64, _ addr.IP, err error) { c.channelDown(id, err) })
+	mc.SubscribeRepair(func(ev RepairEvent) {
+		if ev.Err != nil {
+			return // terminal; the channel-down subscription handles it
+		}
+		for _, s := range c.streams[ev.Channel] {
+			if s.health != nil {
+				s.health.onRepair()
+			}
+		}
+	})
+	return c
+}
+
+// channelDown reacts to the MC abandoning a channel: evict it from the
+// reuse cache and fail every stream riding it.
+func (c *Client) channelDown(id uint64, err error) {
+	for target, cc := range c.channels {
+		if cc.info.ID == id {
+			delete(c.channels, target)
+		}
+	}
+	victims := c.streams[id]
+	delete(c.streams, id)
+	for _, s := range victims {
+		s.fail(err)
 	}
 }
 
 // Dial opens an anonymous stream to target (hidden-service name or IP
 // string) on the given port. The callback fires when the stream is ready:
 // channel established (or reused) and all m-flow connections handshaken.
+// If setup has not completed within SetupTimeout the callback fires once
+// with an error instead.
 func (c *Client) Dial(target string, port uint16, cb func(*Stream, error)) {
-	c.withChannel(target, func(info *ChannelInfo, err error) {
-		if err != nil {
-			cb(nil, err)
+	timeout := c.SetupTimeout
+	if timeout <= 0 {
+		timeout = DefaultSetupTimeout
+	}
+	settled := false
+	c.MC.Net.Eng.After(timeout, func() {
+		if settled {
 			return
 		}
-		c.openStream(info, port, cb)
+		settled = true
+		cb(nil, fmt.Errorf("mic: dial %s:%d: setup deadline %v exceeded", target, port, timeout))
+	})
+	done := func(s *Stream, err error) {
+		if settled {
+			// The deadline already fired; discard the late result.
+			if s != nil {
+				s.Close()
+			}
+			return
+		}
+		settled = true
+		cb(s, err)
+	}
+	c.withChannel(target, func(info *ChannelInfo, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		c.openStream(info, port, done)
 	})
 }
 
@@ -115,7 +188,9 @@ func (c *Client) openStream(info *ChannelInfo, port uint16, cb func(*Stream, err
 			bs.Send(hello(token, uint8(i), uint8(n)))
 			remaining--
 			if remaining == 0 {
-				cb(newStream(conns, c.rng.Stream("slicer")), nil)
+				s := newStream(conns, c.rng.Stream("slicer"), c.MC.Net.Eng, c.Health)
+				c.register(info.ID, s)
+				cb(s, nil)
 			}
 		}
 	}
@@ -137,6 +212,25 @@ func (c *Client) openStream(info *ChannelInfo, port uint16, cb func(*Stream, err
 				}
 				onConn(i)(conn, nil)
 			})
+		}
+	}
+}
+
+// register tracks a live stream by channel so MC notifications (repairs,
+// terminal channel loss) reach it; the stream unregisters itself when it
+// closes or fails.
+func (c *Client) register(id uint64, s *Stream) {
+	c.streams[id] = append(c.streams[id], s)
+	s.onFinalize = func() {
+		set := c.streams[id]
+		for i, t := range set {
+			if t == s {
+				c.streams[id] = append(set[:i], set[i+1:]...)
+				break
+			}
+		}
+		if len(c.streams[id]) == 0 {
+			delete(c.streams, id)
 		}
 	}
 }
@@ -203,6 +297,10 @@ type Listener struct {
 	// Port and Secure echo the Listen arguments for inspection.
 	Port   uint16
 	Secure bool
+
+	// Health tunes the health machinery of accepted streams. Set it before
+	// the first channel arrives; the zero value enables defaults.
+	Health HealthConfig
 
 	stack   *transport.Stack
 	onOpen  func(*Stream)
@@ -280,7 +378,7 @@ func (l *Listener) bind(bs transport.ByteStream, token uint64, idx, total int, r
 		return
 	}
 	delete(l.pending, token)
-	s := newStream(ps.conns, l.rng.Stream(fmt.Sprintf("resp-%d", token)))
+	s := newStream(ps.conns, l.rng.Stream(fmt.Sprintf("resp-%d", token)), l.stack.Host.Net().Eng, l.Health)
 	// Replay bytes that arrived glued to or after the hellos.
 	for i, b := range ps.bufs {
 		if len(b) > 0 {

@@ -196,14 +196,10 @@ func (mc *MC) settleRepair(id uint64, job *repairJob, err error) {
 		if st, live := mc.channels[id]; live {
 			initiator := st.initiator
 			_ = mc.CloseChannel(id, nil)
-			if mc.OnChannelDown != nil {
-				mc.OnChannelDown(id, initiator, fmt.Errorf("mic: channel %d unrepairable after %d attempts: %w", id, job.attempts, err))
-			}
+			mc.emitChannelDown(id, initiator, fmt.Errorf("mic: channel %d unrepairable after %d attempts: %w", id, job.attempts, err))
 		}
 	}
-	if mc.OnRepair != nil {
-		mc.OnRepair(ev)
-	}
+	mc.emitRepair(ev)
 }
 
 // channelAlive reports whether every m-flow of the channel currently routes

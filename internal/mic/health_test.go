@@ -1,0 +1,323 @@
+package mic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mic/internal/netsim"
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+// uniqueFlowLink finds a switch-switch link on flow fi's path that no other
+// m-flow of the channel crosses, so a fault injected there hits exactly one
+// m-flow.
+func uniqueFlowLink(f *fixture, info *ChannelInfo, fi int) (topo.NodeID, int, bool) {
+	onOther := map[[2]topo.NodeID]bool{}
+	for j, fl := range info.Flows {
+		if j == fi {
+			continue
+		}
+		for i := 0; i+1 < len(fl.Path); i++ {
+			onOther[[2]topo.NodeID{fl.Path[i], fl.Path[i+1]}] = true
+			onOther[[2]topo.NodeID{fl.Path[i+1], fl.Path[i]}] = true
+		}
+	}
+	path := info.Flows[fi].Path
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		if f.graph.Node(a).Kind != topo.KindSwitch || f.graph.Node(b).Kind != topo.KindSwitch {
+			continue
+		}
+		if onOther[[2]topo.NodeID{a, b}] {
+			continue
+		}
+		return a, f.graph.PortTo(a, b), true
+	}
+	return 0, -1, false
+}
+
+// TestFlowHealthLifecycle drives one m-flow of an F=4 channel through the
+// full state machine: healthy -> degraded -> dead under a silent blackhole
+// (no port-down event, so the MC never notices), with the slicing weights
+// rebalancing away from it, then back to healthy once the fault clears.
+func TestFlowHealthLifecycle(t *testing.T) {
+	f := newFixture(t, Config{MFlows: 4, MNs: 2})
+	Listen(f.stacks[15], 80, false, func(s *Stream) { s.OnData(func([]byte) {}) })
+	client := NewClient(f.stacks[0], f.mc)
+	target := f.hostIP(15).String()
+
+	var str *Stream
+	client.Dial(target, 80, func(s *Stream, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		str = s
+	})
+	f.eng.RunFor(5 * time.Millisecond)
+	if str == nil {
+		t.Fatal("stream never opened")
+	}
+	// Keep a steady trickle flowing so the watchdog stays armed and the
+	// weighted flow selection is observable.
+	sending := true
+	var pump func()
+	pump = func() {
+		if !sending {
+			return
+		}
+		str.Send(pattern(2000))
+		f.eng.After(2*time.Millisecond, pump)
+	}
+	pump()
+
+	info, _ := client.Channel(target)
+	node, port, ok := uniqueFlowLink(f, info, 0)
+	if !ok {
+		t.Skip("no link unique to m-flow 0; cannot stage a single-flow fault")
+	}
+	// Silent blackhole at t=10ms: 100% loss both directions, no events.
+	f.eng.At(sim.Time(10*time.Millisecond), func() {
+		f.net.SetLinkFault(node, port, netsim.FaultProfile{Loss: 1})
+	})
+
+	f.eng.RunUntil(sim.Time(35 * time.Millisecond))
+	h := str.Health()
+	if h[0].State != FlowDegraded && h[0].State != FlowDead {
+		t.Fatalf("flow 0 at 35ms = %v, want degraded or dead", h[0].State)
+	}
+
+	f.eng.RunUntil(sim.Time(65 * time.Millisecond))
+	h = str.Health()
+	if h[0].State != FlowDead {
+		t.Fatalf("flow 0 at 65ms = %v, want dead", h[0].State)
+	}
+	if h[0].Weight != 0 {
+		t.Fatalf("dead flow weight = %d, want 0", h[0].Weight)
+	}
+	for i := 1; i < 4; i++ {
+		if h[i].State != FlowHealthy {
+			t.Fatalf("flow %d = %v, want healthy (fault was single-flow)", i, h[i].State)
+		}
+	}
+
+	// A dead flow gets no new slices: its first-transmission counter freezes.
+	frozen := h[0].SlicesOut
+	others := h[1].SlicesOut + h[2].SlicesOut + h[3].SlicesOut
+	f.eng.RunUntil(sim.Time(85 * time.Millisecond))
+	h = str.Health()
+	if h[0].SlicesOut != frozen {
+		t.Fatalf("dead flow received new slices: %d -> %d", frozen, h[0].SlicesOut)
+	}
+	if grow := h[1].SlicesOut + h[2].SlicesOut + h[3].SlicesOut; grow <= others {
+		t.Fatal("surviving flows carried no additional slices")
+	}
+
+	// Clear the fault; the periodic probes (and the transport's own RTO
+	// retries) revive the flow within a few hundred ms.
+	f.net.ClearLinkFault(node, port)
+	f.eng.RunUntil(sim.Time(300 * time.Millisecond))
+	h = str.Health()
+	if h[0].State != FlowHealthy {
+		t.Fatalf("flow 0 after fault cleared = %v, want healthy", h[0].State)
+	}
+	if h[0].Weight != weightHealthy {
+		t.Fatalf("revived flow weight = %d, want %d", h[0].Weight, weightHealthy)
+	}
+	revived := h[0].SlicesOut
+	f.eng.RunUntil(sim.Time(340 * time.Millisecond))
+	sending = false
+	h = str.Health()
+	if h[0].SlicesOut == revived {
+		t.Fatal("revived flow never carried new slices")
+	}
+	f.eng.RunUntil(sim.Time(2 * time.Second))
+}
+
+// TestRetransmitUnwedgesBlackholedFlow: with F=2 and one m-flow silently
+// black-holed mid-transfer, slice retransmission over the surviving m-flow
+// must deliver every byte. The ablation twin (health disabled) proves the
+// machinery is what saves it: the same schedule wedges reassembly forever.
+func TestRetransmitUnwedgesBlackholedFlow(t *testing.T) {
+	run := func(disabled bool) (got []byte, want []byte, retx int64, health []FlowHealth) {
+		f := newFixture(t, Config{MFlows: 2, MNs: 2})
+		want = pattern(200_000)
+		Listen(f.stacks[15], 80, false, func(s *Stream) {
+			s.OnData(func(b []byte) { got = append(got, b...) })
+		})
+		client := NewClient(f.stacks[0], f.mc)
+		client.Health = HealthConfig{Disabled: disabled}
+		target := f.hostIP(15).String()
+		var str *Stream
+		client.Dial(target, 80, func(s *Stream, err error) {
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			str = s
+		})
+		f.eng.RunFor(5 * time.Millisecond)
+		if str == nil {
+			t.Fatal("stream never opened")
+		}
+		info, _ := client.Channel(target)
+		node, port, ok := uniqueFlowLink(f, info, 1)
+		if !ok {
+			t.Skip("no link unique to m-flow 1")
+		}
+		// Blackhole first, send second: the sender does not know yet, so the
+		// initial slicing still trusts the doomed flow.
+		f.net.SetLinkFault(node, port, netsim.FaultProfile{Loss: 1})
+		str.Send(want)
+		f.eng.RunUntil(sim.Time(2 * time.Second))
+		return got, want, str.Retransmits(), str.Health()
+	}
+
+	got, want, retx, health := run(false)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("transfer incomplete with health enabled: %d/%d bytes", len(got), len(want))
+	}
+	if retx == 0 {
+		t.Fatal("no slices were retransmitted off the black-holed flow")
+	}
+	if health[1].State != FlowDead && health[1].State != FlowDegraded {
+		t.Fatalf("black-holed flow state = %v, want degraded or dead", health[1].State)
+	}
+
+	got, want, _, _ = run(true)
+	if bytes.Equal(got, want) {
+		t.Fatal("ablation delivered everything; the blackhole did not bite")
+	}
+}
+
+// TestDialSetupTimeout black-holes the initiator's uplink so the m-flow
+// handshakes can never complete; Dial must fail with a descriptive error at
+// the configured deadline instead of hanging.
+func TestDialSetupTimeout(t *testing.T) {
+	f := newFixture(t, Config{})
+	Listen(f.stacks[15], 80, false, func(s *Stream) { s.OnData(func([]byte) {}) })
+	client := NewClient(f.stacks[0], f.mc)
+	client.SetupTimeout = 50 * time.Millisecond
+
+	host0 := f.graph.Hosts()[0]
+	f.net.SetLinkFault(host0, 0, netsim.FaultProfile{Loss: 1})
+
+	calls := 0
+	var dialErr error
+	client.Dial(f.hostIP(15).String(), 80, func(s *Stream, err error) {
+		calls++
+		dialErr = err
+		if s != nil {
+			t.Fatal("got a stream over a black-holed uplink")
+		}
+	})
+	f.eng.RunUntil(sim.Time(2 * time.Second))
+	if calls != 1 {
+		t.Fatalf("dial callback fired %d times, want 1", calls)
+	}
+	if dialErr == nil || !strings.Contains(dialErr.Error(), "setup deadline") {
+		t.Fatalf("dial error = %v, want setup deadline error", dialErr)
+	}
+}
+
+// TestStreamFailsCleanOnUnrepairableChannel: when the MC exhausts its
+// repair budget the stream must surface a terminal error through OnError
+// and Err — a clean failure, never a silent hang.
+func TestStreamFailsCleanOnUnrepairableChannel(t *testing.T) {
+	f := newFixture(t, Config{MNs: 2, AutoRepair: true, RepairMaxRetries: 2, RepairBackoff: time.Millisecond})
+	Listen(f.stacks[15], 80, false, func(s *Stream) { s.OnData(func([]byte) {}) })
+	client := NewClient(f.stacks[0], f.mc)
+	target := f.hostIP(15).String()
+
+	var str *Stream
+	client.Dial(target, 80, func(s *Stream, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		str = s
+		s.Send(pattern(100_000))
+	})
+	f.eng.RunFor(5 * time.Millisecond)
+	if str == nil {
+		t.Fatal("stream never opened")
+	}
+	errs := 0
+	var streamErr error
+	str.OnError(func(err error) {
+		errs++
+		streamErr = err
+	})
+
+	// The responder's edge switch is its only uplink: unrepairable.
+	respEdge := f.graph.Node(f.graph.Hosts()[15]).Ports[0].Peer
+	f.net.SetSwitchDown(respEdge, true)
+	f.eng.RunUntil(sim.Time(5 * time.Second))
+
+	if errs != 1 {
+		t.Fatalf("OnError fired %d times, want 1", errs)
+	}
+	if streamErr == nil || !strings.Contains(streamErr.Error(), "unrepairable") {
+		t.Fatalf("stream error = %v, want unrepairable-channel error", streamErr)
+	}
+	if str.Err() == nil {
+		t.Fatal("Err() nil after terminal failure")
+	}
+	// The dead channel must be gone from the reuse cache: a fresh Dial
+	// establishes a new channel (and fails fast here, since no path exists).
+	if _, cached := client.Channel(target); cached {
+		t.Fatal("dead channel still cached")
+	}
+	// Sends on a failed stream are no-ops, not panics.
+	str.Send([]byte("into the void"))
+}
+
+// TestRepairTriggersReprobe establishes a stream, then cuts a link (with a
+// port-down event, so the MC auto-repairs) mid-transfer, and checks the
+// client reacted to the repair notification: the stream's flows were
+// probed (SRTT samples exist) and the transfer finishes intact over the
+// repaired path.
+func TestRepairTriggersReprobe(t *testing.T) {
+	f := newFixture(t, Config{MFlows: 2, MNs: 2, AutoRepair: true})
+	data := pattern(1_000_000)
+	var got []byte
+	Listen(f.stacks[15], 80, false, func(s *Stream) {
+		s.OnData(func(b []byte) { got = append(got, b...) })
+	})
+	client := NewClient(f.stacks[0], f.mc)
+	target := f.hostIP(15).String()
+	var str *Stream
+	client.Dial(target, 80, func(s *Stream, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		str = s
+	})
+	f.eng.RunFor(5 * time.Millisecond)
+	if str == nil {
+		t.Fatal("stream never opened")
+	}
+	info, _ := client.Channel(target)
+	node, port, ok := uniqueFlowLink(f, info, 0)
+	if !ok {
+		t.Skip("no link unique to m-flow 0")
+	}
+	f.net.SetLinkDown(node, port, true)
+	str.Send(data)
+	f.eng.RunUntil(sim.Time(10 * time.Second))
+	if f.mc.Repairs == 0 {
+		t.Fatal("the MC never repaired the cut")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("transfer broken across repair: %d/%d bytes", len(got), len(data))
+	}
+	probed := false
+	for _, h := range str.Health() {
+		if h.SRTT > 0 {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Fatal("no flow has an SRTT sample; repair notification never probed")
+	}
+}

@@ -34,8 +34,12 @@ type Config struct {
 	// length" privacy knob.
 	MNs int
 
-	// MulticastFanout replicates packets at the first MN into this many
-	// copies (1 disables partial multicast).
+	// MulticastFanout replicates packets at both edge MNs (the first and
+	// last MN of each m-flow, in both directions of travel) into this many
+	// copies (1 disables partial multicast). Edge MNs are where a single
+	// tapped switch could otherwise pair an m-address with a real endpoint
+	// address by ingress/egress payload matching — including on the reverse
+	// path, which carries the data plane's acks and probe replies.
 	MulticastFanout int
 
 	// RequestLatency is the one-way client<->MC request delay.
@@ -279,6 +283,13 @@ type MC struct {
 	OnRepair      func(RepairEvent)
 	OnChannelDown func(id uint64, initiator addr.IP, err error)
 
+	// repairSubs and downSubs are the multi-listener versions of OnRepair
+	// and OnChannelDown: every Client subscribes so its streams learn about
+	// repairs (re-probe, rebalance) and terminal losses (clean error). The
+	// single-callback fields above remain for harnesses and examples.
+	repairSubs []func(RepairEvent)
+	downSubs   []func(id uint64, initiator addr.IP, err error)
+
 	// Repairs and RepairFailures count completed self-healing jobs.
 	Repairs        uint64
 	RepairFailures uint64
@@ -361,6 +372,39 @@ func NewMC(net *netsim.Network, cfg Config) (*MC, error) {
 		mc.enableAutoRepair()
 	}
 	return mc, nil
+}
+
+// SubscribeRepair adds a listener for completed self-healing jobs. Unlike
+// the single OnRepair field, subscriptions compose: every Client registers
+// one so its streams re-probe and rebalance the moment a repair lands.
+func (mc *MC) SubscribeRepair(fn func(RepairEvent)) {
+	mc.repairSubs = append(mc.repairSubs, fn)
+}
+
+// SubscribeChannelDown adds a listener for terminal channel loss.
+func (mc *MC) SubscribeChannelDown(fn func(id uint64, initiator addr.IP, err error)) {
+	mc.downSubs = append(mc.downSubs, fn)
+}
+
+// emitRepair fans a repair event out to the OnRepair field and subscribers.
+func (mc *MC) emitRepair(ev RepairEvent) {
+	if mc.OnRepair != nil {
+		mc.OnRepair(ev)
+	}
+	for _, fn := range mc.repairSubs {
+		fn(ev)
+	}
+}
+
+// emitChannelDown fans a terminal channel loss out to the OnChannelDown
+// field and subscribers.
+func (mc *MC) emitChannelDown(id uint64, initiator addr.IP, err error) {
+	if mc.OnChannelDown != nil {
+		mc.OnChannelDown(id, initiator, err)
+	}
+	for _, fn := range mc.downSubs {
+		fn(id, initiator, err)
+	}
 }
 
 // PacketIn implements netsim.Controller. Unmatched MF-labeled packets are

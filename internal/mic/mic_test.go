@@ -532,8 +532,9 @@ func TestIDRecycling(t *testing.T) {
 func TestStreamSliceReassemblyOutOfOrder(t *testing.T) {
 	// Direct unit test of the slicing protocol: feed slices out of order.
 	s := &Stream{
-		reasm: make(map[uint32][]byte),
-		parse: make([]connParser, 2),
+		reasm:    make(map[uint32][]byte),
+		parse:    make([]connParser, 2),
+		slicesIn: make([]int64, 2),
 	}
 	var got []byte
 	s.OnData(func(b []byte) { got = append(got, b...) })

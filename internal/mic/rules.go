@@ -279,7 +279,7 @@ func (mc *MC) computeFlow(st *channelState, info *ChannelInfo, initNode topo.Nod
 			actions = append(actions, flowtable.SetEthDst(respMAC))
 		}
 		actions = append(actions, flowtable.Output(out))
-		if jj == 1 && opts.MulticastFanout > 1 {
+		if (jj == 1 || jj == n) && opts.MulticastFanout > 1 {
 			grp, decoys := mc.buildMulticast(node, path[pi-1], path[pi+1], actions, T[cur], fwdID, opts.MulticastFanout)
 			add(node, &flowtable.Entry{Match: T[cur].match(), Actions: []flowtable.Action{flowtable.OutputGroup(grp.ID)}}, grp)
 			for _, d := range decoys {
@@ -313,7 +313,7 @@ func (mc *MC) computeFlow(st *channelState, info *ChannelInfo, initNode topo.Nod
 			actions = append(actions, flowtable.SetEthDst(initMAC))
 		}
 		actions = append(actions, flowtable.Output(out))
-		if jj == n && opts.MulticastFanout > 1 {
+		if (jj == n || jj == 1) && opts.MulticastFanout > 1 {
 			grp, decoys := mc.buildMulticast(node, path[pi+1], path[pi-1], actions, U[cur], revID, opts.MulticastFanout)
 			add(node, &flowtable.Entry{Match: U[cur].match(), Actions: []flowtable.Action{flowtable.OutputGroup(grp.ID)}}, grp)
 			for _, d := range decoys {

@@ -2,6 +2,7 @@ package mic
 
 import (
 	"encoding/binary"
+	"time"
 
 	"mic/internal/addr"
 	"mic/internal/sim"
@@ -10,22 +11,58 @@ import (
 
 // Wire framing of a mimic channel stream. Each m-flow connection opens with
 // a fixed hello (so the responder can group the F connections of one
-// channel), then carries length-prefixed slices. Slices are numbered in one
-// shared sequence per direction; the initiator spreads them across m-flows
-// so no single flow carries the real traffic size (Sec IV-C, multiple
-// m-flows mechanism).
+// channel), then carries length-prefixed frames. A frame is either a data
+// slice or a control frame (top bit of the length field set). Slices are
+// numbered in one shared sequence per direction; the initiator spreads them
+// across m-flows so no single flow carries the real traffic size (Sec IV-C,
+// multiple m-flows mechanism). Control frames carry the degraded-mode
+// machinery: cumulative slice acks, and probes/probe-acks for per-m-flow
+// RTT and liveness (health.go).
 const (
 	helloLen       = 10 // token(8) flowIdx(1) total(1)
 	sliceHeaderLen = 8  // seq(4) len(2) padded(2)
 	minSlice       = 256
 	maxSlice       = 1400
+
+	// ctlFlag marks a control frame in the length field. Data slices are
+	// bounded far below it, so the bit is unambiguous.
+	ctlFlag = 0x8000
+
+	ctlBodyLen = 9 // type(1) a(4) b(4)
+
+	ctlAck      = 1 // a = cumulative ack (next expected seq), b = slices received on this conn
+	ctlProbe    = 2 // a = probe id
+	ctlProbeAck = 3 // a = echoed probe id
 )
 
+// ackInterval decimates the stream-level ack clock: at most one ack per
+// conn per interval, plus a trailing delayed ack so the tail of a burst is
+// always acked. Reverse-direction packets are multicast-protected only at
+// the far edge MN, so an adversary tapping the near edge can correlate
+// every reply packet with certainty — keeping acks a small fraction of the
+// data they shadow preserves the partial-multicast defense's effect.
+const ackInterval = time.Millisecond
+
+// ctlFrame builds one control frame.
+func ctlFrame(typ byte, a, b uint32) []byte {
+	f := make([]byte, sliceHeaderLen+ctlBodyLen)
+	binary.BigEndian.PutUint16(f[4:6], ctlFlag|ctlBodyLen)
+	binary.BigEndian.PutUint16(f[6:8], ctlBodyLen)
+	f[sliceHeaderLen] = typ
+	binary.BigEndian.PutUint32(f[sliceHeaderLen+1:], a)
+	binary.BigEndian.PutUint32(f[sliceHeaderLen+5:], b)
+	return f
+}
+
 // Stream is the application-facing byte pipe of a mimic channel: one
-// logical connection multiplexed over the channel's m-flows.
+// logical connection multiplexed over the channel's m-flows. Under the
+// degraded-mode data plane each direction additionally acks slices,
+// monitors every m-flow's health, re-sends slices whose m-flow stalled,
+// and rebalances the slicing weights away from sick m-flows.
 type Stream struct {
 	conns []transport.ByteStream
 	rng   *sim.RNG
+	eng   *sim.Engine
 
 	// Outgoing.
 	seqOut uint32
@@ -35,19 +72,34 @@ type Stream struct {
 	uniform int
 
 	// Incoming.
-	parse  []connParser
-	reasm  map[uint32][]byte
-	seqIn  uint32
-	onData func([]byte)
+	parse      []connParser
+	reasm      map[uint32][]byte
+	seqIn      uint32
+	slicesIn   []int64 // per-conn slices received (reported back in acks)
+	lastAck    []sim.Time
+	ackPending []bool
+	onData     func([]byte)
 
 	onClose     func()
+	onError     func(error)
+	onFinalize  func() // client-library hook: unregister from the channel map
+	connClosed  []bool
 	closedConns int
 	closed      bool
+	failed      error
+
+	// health drives monitoring, retransmission and rebalancing; nil when
+	// HealthConfig.Disabled (the pre-degraded-mode behaviour, kept as an
+	// ablation). Receive-side duties (acks, probe answers) stay on either
+	// way so this endpoint never blinds its peer.
+	health *healthMonitor
 
 	// Counters.
-	BytesSent int64
-	BytesRecv int64
-	SlicesOut []int64 // per m-flow slice counts (traffic-split evidence)
+	BytesSent  int64
+	BytesRecv  int64
+	SlicesOut  []int64 // per m-flow first-transmission slice counts (traffic-split evidence)
+	SlicesRetx int64   // slices re-sent over another m-flow
+	SlicesDup  int64   // duplicate slices discarded by the receiver
 }
 
 type connParser struct {
@@ -55,18 +107,30 @@ type connParser struct {
 }
 
 // newStream wires s onto its connections; conns must all be established.
-func newStream(conns []transport.ByteStream, rng *sim.RNG) *Stream {
+func newStream(conns []transport.ByteStream, rng *sim.RNG, eng *sim.Engine, hc HealthConfig) *Stream {
 	s := &Stream{
-		conns:     conns,
-		rng:       rng,
-		reasm:     make(map[uint32][]byte),
-		parse:     make([]connParser, len(conns)),
-		SlicesOut: make([]int64, len(conns)),
+		conns:      conns,
+		rng:        rng,
+		eng:        eng,
+		reasm:      make(map[uint32][]byte),
+		parse:      make([]connParser, len(conns)),
+		slicesIn:   make([]int64, len(conns)),
+		lastAck:    make([]sim.Time, len(conns)),
+		ackPending: make([]bool, len(conns)),
+		connClosed: make([]bool, len(conns)),
+		SlicesOut:  make([]int64, len(conns)),
+	}
+	if !hc.Disabled {
+		s.health = newHealthMonitor(s, hc)
 	}
 	for i, c := range conns {
 		i, c := i, c
 		c.OnData(func(b []byte) { s.feed(i, b) })
 		c.OnClose(func() {
+			s.connClosed[i] = true
+			if s.health != nil {
+				s.health.flows[i].state = FlowClosed
+			}
 			s.closedConns++
 			if s.closedConns == len(s.conns) && s.onClose != nil {
 				cb := s.onClose
@@ -108,9 +172,14 @@ func (s *Stream) SetUniformSliceSize(size int) {
 	s.uniform = size
 }
 
-// Send slices data and spreads the slices across the m-flows.
+// Err returns the stream's terminal error, if any: non-nil after the MC
+// declared the underlying channel unrepairable (OnChannelDown).
+func (s *Stream) Err() error { return s.failed }
+
+// Send slices data and spreads the slices across the m-flows, weighted by
+// flow health (uniformly when the health machinery is disabled).
 func (s *Stream) Send(data []byte) {
-	if s.closed {
+	if s.closed || s.failed != nil {
 		return
 	}
 	s.BytesSent += int64(len(data))
@@ -135,9 +204,15 @@ func (s *Stream) Send(data []byte) {
 		binary.BigEndian.PutUint16(body[6:8], uint16(padded))
 		copy(body[sliceHeaderLen:], data[:n])
 		s.seqOut++
-		flow := s.rng.Intn(len(s.conns))
-		s.SlicesOut[flow]++
-		s.conns[flow].Send(body)
+		if s.health != nil {
+			// Windowed path: the monitor releases slices as acks open
+			// window room, picking the flow at release time.
+			s.health.enqueue(body)
+		} else {
+			flow := s.rng.Intn(len(s.conns))
+			s.SlicesOut[flow]++
+			s.conns[flow].Send(body)
+		}
 		data = data[n:]
 	}
 }
@@ -153,38 +228,166 @@ func (s *Stream) OnData(fn func([]byte)) {
 // closed.
 func (s *Stream) OnClose(fn func()) { s.onClose = fn }
 
+// OnError registers a callback fired at most once, when the stream dies
+// terminally: the MC abandoned the channel (no live path after all repair
+// retries) and tore it down. The stream is unusable afterwards; Err
+// returns the same error. Without the callback the error is still
+// available from Err — but registering it is how an application turns a
+// would-be hang into a clean failure.
+func (s *Stream) OnError(fn func(error)) {
+	s.onError = fn
+	if s.failed != nil && fn != nil {
+		s.onError = nil
+		fn(s.failed)
+	}
+}
+
+// fail marks the stream terminally dead and closes its connections.
+func (s *Stream) fail(err error) {
+	if s.closed || s.failed != nil {
+		return
+	}
+	s.failed = err
+	if s.health != nil {
+		s.health.disarm()
+	}
+	if fin := s.onFinalize; fin != nil {
+		s.onFinalize = nil
+		fin()
+	}
+	for _, c := range s.conns {
+		c.Close()
+	}
+	if cb := s.onError; cb != nil {
+		s.onError = nil
+		cb(err)
+	}
+}
+
 // Close closes all m-flow connections.
 func (s *Stream) Close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
+	if s.health != nil {
+		s.health.disarm()
+	}
+	if fin := s.onFinalize; fin != nil {
+		s.onFinalize = nil
+		fin()
+	}
 	for _, c := range s.conns {
 		c.Close()
 	}
 }
 
-// feed accepts raw bytes from connection i and extracts complete slices.
+// feed accepts raw bytes from connection i and extracts complete frames.
 func (s *Stream) feed(i int, b []byte) {
 	p := &s.parse[i]
 	p.buf = append(p.buf, b...)
+	gotSlices := false
 	for {
 		if len(p.buf) < sliceHeaderLen {
-			return
+			break
 		}
-		n := int(binary.BigEndian.Uint16(p.buf[4:6]))
+		rawLen := binary.BigEndian.Uint16(p.buf[4:6])
+		if rawLen&ctlFlag != 0 {
+			blen := int(rawLen &^ ctlFlag)
+			if len(p.buf) < sliceHeaderLen+blen {
+				break
+			}
+			s.handleCtl(i, p.buf[sliceHeaderLen:sliceHeaderLen+blen])
+			p.buf = p.buf[sliceHeaderLen+blen:]
+			continue
+		}
+		n := int(rawLen)
 		padded := int(binary.BigEndian.Uint16(p.buf[6:8]))
 		if padded < n {
 			padded = n // tolerate unpadded frames
 		}
 		if len(p.buf) < sliceHeaderLen+padded {
-			return
+			break
 		}
 		seq := binary.BigEndian.Uint32(p.buf[0:4])
-		payload := append([]byte(nil), p.buf[sliceHeaderLen:sliceHeaderLen+n]...)
+		payload := p.buf[sliceHeaderLen : sliceHeaderLen+n]
+		gotSlices = true
+		if i < len(s.slicesIn) {
+			s.slicesIn[i]++
+		}
+		if _, dup := s.reasm[seq]; dup || seqLT32(seq, s.seqIn) {
+			// Already delivered or already buffered: a retransmitted slice's
+			// original copy finally crawling in over a repaired m-flow.
+			s.SlicesDup++
+		} else {
+			s.reasm[seq] = append([]byte(nil), payload...)
+		}
 		p.buf = p.buf[sliceHeaderLen+padded:]
-		s.reasm[seq] = payload
 		s.drain()
+	}
+	if gotSlices && !s.closed && s.failed == nil && i < len(s.conns) {
+		// Ack on the conn the data arrived on: the cumulative ack frees the
+		// sender's retransmit state, and its arrival path proves this m-flow
+		// alive in the reverse direction.
+		s.maybeAck(i)
+	}
+}
+
+// maybeAck sends the cumulative ack on conn i, rate-limited to one per
+// ackInterval with a trailing delayed ack (so the final slices of a burst
+// are always acked and the sender's watchdog can disarm).
+func (s *Stream) maybeAck(i int) {
+	if s.eng == nil {
+		s.sendAck(i)
+		return
+	}
+	if s.ackPending[i] {
+		return // a delayed ack is already scheduled; it will carry this seq
+	}
+	now := s.eng.Now()
+	if now.Sub(s.lastAck[i]) >= ackInterval {
+		s.lastAck[i] = now
+		s.sendAck(i)
+		return
+	}
+	s.ackPending[i] = true
+	s.eng.After(s.lastAck[i].Add(ackInterval).Sub(now), func() {
+		if !s.ackPending[i] {
+			return
+		}
+		s.ackPending[i] = false
+		if s.closed || s.failed != nil || s.connClosed[i] {
+			return
+		}
+		s.lastAck[i] = s.eng.Now()
+		s.sendAck(i)
+	})
+}
+
+func (s *Stream) sendAck(i int) {
+	s.conns[i].Send(ctlFrame(ctlAck, s.seqIn, uint32(s.slicesIn[i])))
+}
+
+// handleCtl dispatches one control frame that arrived on connection i.
+func (s *Stream) handleCtl(i int, body []byte) {
+	if len(body) < ctlBodyLen {
+		return
+	}
+	a := binary.BigEndian.Uint32(body[1:5])
+	b := binary.BigEndian.Uint32(body[5:9])
+	switch body[0] {
+	case ctlAck:
+		if s.health != nil {
+			s.health.onAck(i, a, int64(b))
+		}
+	case ctlProbe:
+		if !s.closed && s.failed == nil {
+			s.conns[i].Send(ctlFrame(ctlProbeAck, a, 0))
+		}
+	case ctlProbeAck:
+		if s.health != nil {
+			s.health.onProbeAck(i, a)
+		}
 	}
 }
 

@@ -36,9 +36,15 @@ type Config struct {
 	CostHostPacket   time.Duration // per packet through a host stack
 
 	// LossRate injects uniform random frame loss on every link (0 = none).
+	// It is a back-compat alias: New installs Uniform(LossRate) as the fault
+	// profile of every link, equivalent to calling SetLinkFault everywhere.
 	// Deterministic per LossSeed; used for failure-injection tests.
 	LossRate float64
 	LossSeed uint64
+
+	// FaultSeed drives the per-link fault RNG streams (SetLinkFault). Zero
+	// falls back to LossSeed, so existing loss-injection configs reproduce.
+	FaultSeed uint64
 }
 
 // DefaultConfig mirrors a 1 Gb/s Mininet fabric with Open vSwitch.
@@ -169,10 +175,16 @@ type Listener func(Event)
 type Stats struct {
 	Delivered uint64 // packets handed to host stacks
 	Forwarded uint64 // packets forwarded by switches
-	Dropped   uint64 // queue-overflow drops
+	Dropped   uint64 // queue-overflow drops plus injected frame loss
 	LostDown  uint64 // packets black-holed by failed links or switches
 	TableMiss uint64 // packets with no matching flow entry and no controller
 	TxBytes   uint64 // bytes serialized onto links
+
+	// Per-link fault injection outcomes (SetLinkFault).
+	LostFault  uint64 // frames dropped by an injected loss profile
+	Corrupted  uint64 // frames discarded by the receiver's FCS after corruption
+	Duplicated uint64 // extra copies delivered by a duplication profile
+	Reordered  uint64 // frames delayed by reorder jitter
 }
 
 // linkDir is the state of one direction of one cable. Link failure and
@@ -185,6 +197,12 @@ type linkDir struct {
 	drops     uint64
 	linkDown  bool // failed via SetLinkDown
 	swDown    int  // number of failed endpoint switches darkening this cable
+
+	// fault, when non-nil, degrades this direction (SetLinkFault). The RNG
+	// stream is per direction, derived from Config.FaultSeed, so frame fates
+	// on one link never depend on traffic crossing another.
+	fault    *FaultProfile
+	faultRNG *sim.RNG
 }
 
 func (d *linkDir) down() bool { return d.linkDown || d.swDown > 0 }
@@ -202,7 +220,7 @@ type Network struct {
 	dirs      map[portKey]*linkDir
 	taps      map[topo.NodeID][]Tap
 	listeners []Listener
-	lossRNG   *sim.RNG
+	faultSeed uint64
 }
 
 type portKey struct {
@@ -222,8 +240,9 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
 		dirs:     make(map[portKey]*linkDir),
 		taps:     make(map[topo.NodeID][]Tap),
 	}
-	if n.Cfg.LossRate > 0 {
-		n.lossRNG = sim.NewRNG(n.Cfg.LossSeed ^ 0x10559)
+	n.faultSeed = n.Cfg.FaultSeed
+	if n.faultSeed == 0 {
+		n.faultSeed = n.Cfg.LossSeed
 	}
 	for _, node := range g.Nodes {
 		switch node.Kind {
@@ -236,7 +255,20 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
 			n.dirs[portKey{node.ID, p}] = &linkDir{}
 		}
 	}
+	if n.Cfg.LossRate > 0 {
+		// Back-compat alias: uniform loss everywhere via per-link profiles.
+		for _, node := range g.Nodes {
+			for p := range node.Ports {
+				n.SetLinkFault(node.ID, p, Uniform(n.Cfg.LossRate))
+			}
+		}
+	}
 	return n
+}
+
+// faultStream derives the deterministic fault RNG for one link direction.
+func (n *Network) faultStream(pk portKey) *sim.RNG {
+	return sim.NewRNG(n.faultSeed ^ 0x10559).Stream(fmt.Sprintf("fault-%d-%d", pk.node, pk.port))
 }
 
 // Switch returns the switch runtime for a node ID.
@@ -403,11 +435,13 @@ func (n *Network) send(from topo.NodeID, port int, p *packet.Packet) {
 		panic(fmt.Sprintf("netsim: %s sending out nonexistent port %d", node.Name, port))
 	}
 	n.fireTaps(from, port, Egress, p)
-	if n.lossRNG != nil && n.lossRNG.Float64() < n.Cfg.LossRate {
+	dir := n.dirs[portKey{from, port}]
+	fate := dir.fate()
+	if fate == fateLost {
 		n.Stats.Dropped++
+		n.Stats.LostFault++
 		return
 	}
-	dir := n.dirs[portKey{from, port}]
 	if dir.down() {
 		n.Stats.LostDown++
 		return
@@ -431,7 +465,24 @@ func (n *Network) send(from topo.NodeID, port int, p *packet.Packet) {
 	n.Stats.TxBytes += uint64(wire)
 	n.Eng.At(done, func() { dir.queued-- })
 	arrive := done.Add(n.Cfg.LinkDelay)
-	n.Eng.At(arrive, func() { n.recv(peer.Peer, peer.PeerPort, p) })
+	switch fate {
+	case fateCorrupt:
+		// The frame burns wire time but the receiving NIC's FCS rejects it.
+		n.Eng.At(arrive, func() { n.Stats.Corrupted++ })
+	case fateDup:
+		dup := p.Clone()
+		n.Eng.At(arrive, func() { n.recv(peer.Peer, peer.PeerPort, p) })
+		n.Eng.At(arrive, func() {
+			n.Stats.Duplicated++
+			n.recv(peer.Peer, peer.PeerPort, dup)
+		})
+	case fateReorder:
+		jitter := time.Duration(dir.faultRNG.Int63n(int64(dir.fault.Jitter)) + 1)
+		n.Stats.Reordered++
+		n.Eng.At(arrive.Add(jitter), func() { n.recv(peer.Peer, peer.PeerPort, p) })
+	default:
+		n.Eng.At(arrive, func() { n.recv(peer.Peer, peer.PeerPort, p) })
+	}
 }
 
 func (n *Network) recv(at topo.NodeID, port int, p *packet.Packet) {

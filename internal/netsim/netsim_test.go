@@ -516,3 +516,149 @@ func TestSwitchRestoreKeepsIndependentLinkFailures(t *testing.T) {
 	}
 	_ = eng
 }
+
+// faultRig wires h1-s1-h2 with forwarding both ways and a counter on h2.
+func faultRig(t *testing.T, cfg Config) (*sim.Engine, *Network, *Host, *Switch, *Host, *int) {
+	t.Helper()
+	g, err := topo.Linear(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	n := New(eng, g, cfg)
+	h1, h2 := n.Host(g.Hosts()[0]), n.Host(g.Hosts()[1])
+	s1 := n.Switch(g.Switches()[0])
+	s1.Table.Insert(&flowtable.Entry{Priority: 1, Actions: []flowtable.Action{flowtable.Output(n.Graph.PortTo(s1.ID, h2.ID))}}, 0)
+	delivered := 0
+	h2.SetHandler(func(int, *packet.Packet) { delivered++ })
+	return eng, n, h1, s1, h2, &delivered
+}
+
+// TestLinkFaultLoss: an injected loss profile on one link drops a fraction
+// of frames, deterministically per seed, and clears cleanly.
+func TestLinkFaultLoss(t *testing.T) {
+	run := func() (uint64, int) {
+		eng, n, h1, _, _, delivered := faultRig(t, Config{FaultSeed: 11})
+		n.SetLinkFault(h1.ID, 0, FaultProfile{Loss: 0.3})
+		for i := 0; i < 200; i++ {
+			at := time.Duration(i) * 50 * time.Microsecond // spaced: no queue drops
+			eng.After(at, func() { h1.Send(0, frame(h1.IP, 0, "x")) })
+		}
+		eng.Run()
+		return n.Stats.LostFault, *delivered
+	}
+	lost, delivered := run()
+	if lost == 0 {
+		t.Fatal("no frames lost at 30% per-link loss")
+	}
+	if delivered+int(lost) != 200 {
+		t.Fatalf("delivered %d + lost %d != 200", delivered, lost)
+	}
+	lost2, delivered2 := run()
+	if lost != lost2 || delivered != delivered2 {
+		t.Fatalf("per-link loss nondeterministic: (%d,%d) vs (%d,%d)", lost, delivered, lost2, delivered2)
+	}
+}
+
+// TestLinkFaultClear: clearing a profile restores a clean link.
+func TestLinkFaultClear(t *testing.T) {
+	eng, n, h1, _, _, delivered := faultRig(t, Config{})
+	n.SetLinkFault(h1.ID, 0, FaultProfile{Loss: 1.0})
+	h1.Send(0, frame(h1.IP, 0, "a"))
+	eng.Run()
+	if *delivered != 0 {
+		t.Fatal("frame survived 100% loss")
+	}
+	n.ClearLinkFault(h1.ID, 0)
+	if got := n.LinkFault(h1.ID, 0); !got.IsZero() {
+		t.Fatalf("profile still active after clear: %+v", got)
+	}
+	for i := 0; i < 10; i++ {
+		h1.Send(0, frame(h1.IP, 0, "b"))
+	}
+	eng.Run()
+	if *delivered != 10 {
+		t.Fatalf("delivered %d/10 after clearing fault", *delivered)
+	}
+}
+
+// TestLinkFaultDuplication: a dup profile delivers extra copies and counts
+// them.
+func TestLinkFaultDuplication(t *testing.T) {
+	eng, n, h1, _, _, delivered := faultRig(t, Config{FaultSeed: 3})
+	n.SetLinkFault(h1.ID, 0, FaultProfile{Dup: 1.0})
+	for i := 0; i < 20; i++ {
+		h1.Send(0, frame(h1.IP, 0, "d"))
+	}
+	eng.Run()
+	// Every frame duplicates on the host link; the switch then forwards both
+	// copies over the (also faulted, cable-scoped) second link, so each send
+	// yields four arrivals.
+	if n.Stats.Duplicated == 0 {
+		t.Fatal("no duplications recorded")
+	}
+	if *delivered != 40 {
+		t.Fatalf("delivered %d, want 40 (each frame duplicated once per hop is out of scope: fault is per-cable)", *delivered)
+	}
+}
+
+// TestLinkFaultReorder: reorder jitter delays some frames past later ones.
+func TestLinkFaultReorder(t *testing.T) {
+	eng, n, h1, s1, h2, _ := faultRig(t, Config{FaultSeed: 7})
+	_ = s1
+	n.SetLinkFault(h1.ID, 0, FaultProfile{Reorder: 0.3, Jitter: 500 * time.Microsecond})
+	var order []int
+	h2.SetHandler(func(_ int, p *packet.Packet) { order = append(order, int(p.Seq)) })
+	for i := 0; i < 50; i++ {
+		h1.Send(0, &packet.Packet{SrcIP: h1.IP, DstIP: h2.IP, Proto: packet.ProtoTCP, TTL: 64, Seq: uint32(i)})
+	}
+	eng.Run()
+	if n.Stats.Reordered == 0 {
+		t.Fatal("no frames jittered at 30% reorder")
+	}
+	if len(order) != 50 {
+		t.Fatalf("reorder lost frames: %d/50", len(order))
+	}
+	inverted := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inverted++
+		}
+	}
+	if inverted == 0 {
+		t.Fatal("jitter never actually reordered arrivals")
+	}
+}
+
+// TestLinkFaultCorruption: corrupted frames burn wire time but never reach
+// the handler.
+func TestLinkFaultCorruption(t *testing.T) {
+	eng, n, h1, _, _, delivered := faultRig(t, Config{FaultSeed: 5})
+	n.SetLinkFault(h1.ID, 0, FaultProfile{Corrupt: 1.0})
+	before := n.Stats.TxBytes
+	h1.Send(0, frame(h1.IP, 0, "c"))
+	eng.Run()
+	if *delivered != 0 {
+		t.Fatal("corrupted frame delivered")
+	}
+	if n.Stats.Corrupted == 0 {
+		t.Fatal("corruption not counted")
+	}
+	if n.Stats.TxBytes == before {
+		t.Fatal("corrupted frame did not burn wire time")
+	}
+}
+
+// TestLossRateAliasInstallsProfiles: the legacy uniform LossRate config is
+// now sugar for per-link profiles on every link.
+func TestLossRateAliasInstallsProfiles(t *testing.T) {
+	g, _ := topo.Linear(2)
+	n := New(sim.New(), g, Config{LossRate: 0.25, LossSeed: 9})
+	for _, node := range g.Nodes {
+		for p := range node.Ports {
+			if prof := n.LinkFault(node.ID, p); prof.Loss != 0.25 {
+				t.Fatalf("link (%s,%d) profile %+v, want Loss=0.25", g.Node(node.ID).Name, p, prof)
+			}
+		}
+	}
+}
