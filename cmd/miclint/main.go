@@ -1,0 +1,82 @@
+// Command miclint runs the determinism and concurrency analyzers from
+// internal/lint over the given packages (default ./...) and exits non-zero
+// if any unsuppressed diagnostic is found.
+//
+//	go run ./cmd/miclint ./...
+//
+// Suppress a reviewed false positive at its site:
+//
+//	// lint:ignore detrange <reason>
+//
+// See internal/lint/README.md for what each check enforces and DESIGN.md's
+// "Determinism contract" for why.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mic/internal/lint"
+)
+
+func main() {
+	var (
+		checks = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		list   = flag.Bool("list", false, "list available checks and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: miclint [-checks c1,c2] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *checks != "" {
+		want := map[string]bool{}
+		for _, c := range strings.Split(*checks, ",") {
+			want[strings.TrimSpace(c)] = true
+		}
+		var kept []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				kept = append(kept, a)
+				delete(want, a.Name)
+			}
+		}
+		for unknown := range want {
+			fmt.Fprintf(os.Stderr, "miclint: unknown check %q (try -list)\n", unknown)
+			os.Exit(2)
+		}
+		analyzers = kept
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "miclint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "miclint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "miclint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

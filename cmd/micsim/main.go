@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -169,10 +170,19 @@ func runMIC(secure bool, from, to, mns, mflows, fanout, size int, seed uint64) {
 // of these faults never raise a control-plane event; surviving them is the
 // endpoints' job.
 func runLossy(secure bool, from, to, mns, mflows, fanout, size int, seed uint64) {
-	g, err := topo.FatTree(4)
-	if err != nil {
+	if err := lossyReport(os.Stdout, secure, from, to, mns, mflows, fanout, size, seed); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// lossyReport runs the lossy scenario and writes the metrics report to w.
+// Everything it prints is a function of its arguments — the determinism
+// test in main_test.go runs it twice and asserts byte-identical output.
+func lossyReport(w io.Writer, secure bool, from, to, mns, mflows, fanout, size int, seed uint64) error {
+	g, err := topo.FatTree(4)
+	if err != nil {
+		return err
 	}
 	eng := sim.New()
 	net := netsim.New(eng, g, netsim.Config{})
@@ -181,8 +191,7 @@ func runLossy(secure bool, from, to, mns, mflows, fanout, size int, seed uint64)
 		AutoRepair: true, RepairMaxRetries: 20,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	var stacks []*transport.Stack
 	for _, hid := range g.Hosts() {
@@ -203,11 +212,12 @@ func runLossy(secure bool, from, to, mns, mflows, fanout, size int, seed uint64)
 	client := mic.NewClient(stacks[from], mc)
 	client.Secure = secure
 	data := make([]byte, size)
+	var dialErr error
 	var str *mic.Stream
 	client.Dial(stacks[to].Host.IP.String(), 80, func(s *mic.Stream, err error) {
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			dialErr = err
+			return
 		}
 		str = s
 		start = eng.Now()
@@ -216,39 +226,50 @@ func runLossy(secure bool, from, to, mns, mflows, fanout, size int, seed uint64)
 
 	sched, err := chaos.LossyScenario(g, seed, chaos.LossyConfig{From: g.Hosts()[from], To: g.Hosts()[to]})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("lossy schedule (seed %d):\n%s", seed, sched.Render(g))
+	fmt.Fprintf(w, "lossy schedule (seed %d):\n%s", seed, sched.Render(g))
 	runner := chaos.NewRunner(net, mc.Ch)
 	runner.OnFault = func(f chaos.Fault) {
-		fmt.Printf("%12v  fault  %s\n", time.Duration(eng.Now()), f.Kind)
+		fmt.Fprintf(w, "%12v  fault  %s\n", time.Duration(eng.Now()), f.Kind)
 	}
 	runner.Play(sched)
 
 	eng.Run()
+	if dialErr != nil {
+		return dialErr
+	}
 	if got < size {
-		fmt.Fprintf(os.Stderr, "micsim: transfer incomplete (%d/%d bytes)\n", got, size)
-		os.Exit(1)
+		return fmt.Errorf("micsim: transfer incomplete (%d/%d bytes)", got, size)
 	}
 	wall := time.Duration(end - start)
-	fmt.Printf("delivered %d bytes in %v (%.1f Mbps) through %d faults\n",
+	fmt.Fprintf(w, "delivered %d bytes in %v (%.1f Mbps) through %d faults\n",
 		got, wall, float64(size)*8/wall.Seconds()/1e6, len(runner.Applied))
-	fmt.Printf("slice retransmits=%d duplicate slices=%d repairs=%d\n",
+	fmt.Fprintf(w, "slice retransmits=%d duplicate slices=%d repairs=%d\n",
 		str.Retransmits(), rstr.SlicesDup, mc.Repairs)
 	for i, h := range str.Health() {
-		fmt.Printf("m-flow %d: state=%v srtt=%v slices-out=%d acked=%d retx-away=%d\n",
+		fmt.Fprintf(w, "m-flow %d: state=%v srtt=%v slices-out=%d acked=%d retx-away=%d\n",
 			i, h.State, h.SRTT, h.SlicesOut, h.SlicesAcked, h.Retx)
 	}
+	return nil
 }
 
 // runChaos plays the standard five-act fault storm against a MIC transfer
 // with auto-repair enabled and reports what the control plane did about it.
 func runChaos(secure bool, from, to, mns, mflows, fanout, size int, seed uint64) {
-	g, err := topo.FatTree(4)
-	if err != nil {
+	if err := chaosReport(os.Stdout, secure, from, to, mns, mflows, fanout, size, seed); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// chaosReport runs the chaos scenario and writes the metrics report to w.
+// Everything it prints is a function of its arguments — the determinism
+// test in main_test.go runs it twice and asserts byte-identical output.
+func chaosReport(w io.Writer, secure bool, from, to, mns, mflows, fanout, size int, seed uint64) error {
+	g, err := topo.FatTree(4)
+	if err != nil {
+		return err
 	}
 	eng := sim.New()
 	net := netsim.New(eng, g, netsim.Config{})
@@ -257,8 +278,7 @@ func runChaos(secure bool, from, to, mns, mflows, fanout, size int, seed uint64)
 		AutoRepair: true, RepairMaxRetries: 20,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	var stacks []*transport.Stack
 	for _, hid := range g.Hosts() {
@@ -277,10 +297,11 @@ func runChaos(secure bool, from, to, mns, mflows, fanout, size int, seed uint64)
 	client := mic.NewClient(stacks[from], mc)
 	client.Secure = secure
 	data := make([]byte, size)
+	var dialErr error
 	client.Dial(stacks[to].Host.IP.String(), 80, func(s *mic.Stream, err error) {
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			dialErr = err
+			return
 		}
 		start = eng.Now()
 		s.Send(data)
@@ -288,32 +309,34 @@ func runChaos(secure bool, from, to, mns, mflows, fanout, size int, seed uint64)
 
 	sched, err := chaos.Scenario(g, seed, chaos.ScenarioConfig{From: g.Hosts()[from], To: g.Hosts()[to]})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("chaos schedule (seed %d):\n%s", seed, sched.Render(g))
+	fmt.Fprintf(w, "chaos schedule (seed %d):\n%s", seed, sched.Render(g))
 	runner := chaos.NewRunner(net, mc.Ch)
 	runner.OnFault = func(f chaos.Fault) {
-		fmt.Printf("%12v  fault  %s\n", time.Duration(eng.Now()), f.Kind)
+		fmt.Fprintf(w, "%12v  fault  %s\n", time.Duration(eng.Now()), f.Kind)
 	}
 	mc.OnRepair = func(ev mic.RepairEvent) {
 		verdict := "repaired"
 		if ev.Err != nil {
 			verdict = "FAILED: " + ev.Err.Error()
 		}
-		fmt.Printf("%12v  repair channel %d attempts=%d latency=%v %s\n",
+		fmt.Fprintf(w, "%12v  repair channel %d attempts=%d latency=%v %s\n",
 			time.Duration(ev.CompletedAt), ev.Channel, ev.Attempts, ev.CompletedAt.Sub(ev.DetectedAt), verdict)
 	}
 	runner.Play(sched)
 
 	eng.Run()
+	if dialErr != nil {
+		return dialErr
+	}
 	if got < size {
-		fmt.Fprintf(os.Stderr, "micsim: transfer incomplete (%d/%d bytes)\n", got, size)
-		os.Exit(1)
+		return fmt.Errorf("micsim: transfer incomplete (%d/%d bytes)", got, size)
 	}
 	wall := time.Duration(end - start)
-	fmt.Printf("delivered %d bytes in %v (%.1f Mbps) through %d faults\n",
+	fmt.Fprintf(w, "delivered %d bytes in %v (%.1f Mbps) through %d faults\n",
 		got, wall, float64(size)*8/wall.Seconds()/1e6, len(runner.Applied))
-	fmt.Printf("repairs=%d repair-failures=%d retransmits=%d timeouts=%d give-ups=%d\n",
+	fmt.Fprintf(w, "repairs=%d repair-failures=%d retransmits=%d timeouts=%d give-ups=%d\n",
 		mc.Repairs, mc.RepairFailures, mc.Ch.Retransmits, mc.Ch.Timeouts, mc.Ch.GiveUps)
+	return nil
 }

@@ -1,3 +1,8 @@
 module mic
 
 go 1.22
+
+// Deliberately dependency-free: internal/lint mirrors the
+// golang.org/x/tools/go/analysis API on the standard library so the
+// repository builds and lints in offline environments. CI's tidy check
+// keeps this file honest.

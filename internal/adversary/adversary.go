@@ -3,6 +3,10 @@
 // correlate traffic. It quantifies what the paper argues qualitatively —
 // correlation success at a Mimic Node, size-based traffic estimation, and
 // which real endpoint addresses a compromised switch position exposes.
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
 package adversary
 
 import (
@@ -111,6 +115,7 @@ func LargestFlowFraction(caps []*Capture, total int64) float64 {
 		}
 	}
 	var best int64
+	// lint:ignore detrange max over values is commutative; ties share the value
 	for _, v := range merged {
 		if v > best {
 			best = v
@@ -185,6 +190,7 @@ func Linked(caps []*Capture, initIP, respIP addr.IP) bool {
 		return false
 	}
 	for _, c := range caps {
+		// lint:ignore detrange boolean existence test; the result is order-independent
 		for sig := range c.payloadSignatures(respIP) {
 			if initSigs[sig] {
 				return true

@@ -7,6 +7,10 @@
 // the scheduled virtual times. Tests and the micsim chaos scenario use it
 // to assert that MIC's self-healing control plane keeps transfers alive
 // through arbitrary (survivable) fault storms.
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
 package chaos
 
 import (

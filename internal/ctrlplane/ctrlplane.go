@@ -4,6 +4,10 @@
 // channel is secure (Sec III-D); we model its delay, message count and —
 // because a self-healing controller must survive a degraded management
 // network — per-message loss with acknowledgement, timeout and retransmit.
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
 package ctrlplane
 
 import (

@@ -4,6 +4,10 @@
 // group tables for partial multicast. The paper's deployability goal (Sec
 // III-C) is that MIC uses only this standard rule vocabulary — no custom
 // switch logic — so this package deliberately exposes nothing beyond it.
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
 package flowtable
 
 import (

@@ -157,7 +157,8 @@ func (t *Table) Group(id GroupID) (*Group, bool) {
 // DeleteGroup removes a group.
 func (t *Table) DeleteGroup(id GroupID) { delete(t.groups, id) }
 
-// Dump renders the table for debugging.
+// Dump renders the table — flow entries in match order, then the group
+// table in ascending group ID so the dump is byte-stable across runs.
 func (t *Table) Dump() string {
 	s := ""
 	for _, e := range t.entries {
@@ -166,6 +167,23 @@ func (t *Table) Dump() string {
 			s += " " + a.String()
 		}
 		s += fmt.Sprintf(" (pkts=%d)\n", e.Packets)
+	}
+	ids := make([]GroupID, 0, len(t.groups))
+	// lint:ignore detrange keys are collected then sorted immediately below
+	for id := range t.groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		g := t.groups[id]
+		s += fmt.Sprintf("group=%d type=all buckets=%d ->", uint32(id), len(g.Buckets))
+		for _, b := range g.Buckets {
+			for _, a := range b.Actions {
+				s += " " + a.String()
+			}
+			s += " |"
+		}
+		s += "\n"
 	}
 	return s
 }

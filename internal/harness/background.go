@@ -117,8 +117,10 @@ func backgroundTrial(interarrival time.Duration, seed uint64) (hit bool, corr fl
 	until := tb.eng.Now()
 	window := time.Millisecond
 
+	// Pick edges in node order: "first capture with exposure" must not
+	// depend on randomized map iteration.
 	var initEdge, respEdge *adversary.Capture
-	for _, c := range caps {
+	for _, c := range sortedCaptures(caps) {
 		if len(c.Exposure(tb.hostIP(0))) > 0 && initEdge == nil {
 			initEdge = c
 		}

@@ -115,6 +115,7 @@ func tcpTracedRun(size int, seed uint64) (map[topo.NodeID]*adversary.Capture, ad
 
 // capturesAsLists aligns the two capture maps on a shared node order.
 func capturesAsLists(micCaps, tcpCaps map[topo.NodeID]*adversary.Capture) (micOut, tcpOut []*adversary.Capture, nodes []topo.NodeID) {
+	// lint:ignore detrange keys are collected then sorted immediately below
 	for node := range micCaps {
 		nodes = append(nodes, node)
 	}
@@ -124,6 +125,23 @@ func capturesAsLists(micCaps, tcpCaps map[topo.NodeID]*adversary.Capture) (micOu
 		tcpOut = append(tcpOut, tcpCaps[node])
 	}
 	return micOut, tcpOut, nodes
+}
+
+// sortedCaptures returns the captures of caps in ascending node order.
+// Experiments must never let map iteration order decide which capture they
+// pick first or the order samples are aggregated in.
+func sortedCaptures(caps map[topo.NodeID]*adversary.Capture) []*adversary.Capture {
+	nodes := make([]topo.NodeID, 0, len(caps))
+	// lint:ignore detrange keys are collected then sorted immediately below
+	for node := range caps {
+		nodes = append(nodes, node)
+	}
+	sortNodes(nodes)
+	out := make([]*adversary.Capture, len(nodes))
+	for i, node := range nodes {
+		out[i] = caps[node]
+	}
+	return out
 }
 
 func sortNodes(ns []topo.NodeID) {

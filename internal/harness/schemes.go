@@ -3,6 +3,10 @@
 // Sec V, and ablations of MIC's design choices. Each experiment stands up
 // fresh simulated testbeds — the substitute for the paper's Mininet rig —
 // and renders the same rows/series the paper plots.
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
 package harness
 
 import (

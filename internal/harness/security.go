@@ -135,11 +135,7 @@ func runS2SizeHiding(cfg RunConfig) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("s2 mflows %d: %w", mf, err)
 			}
-			var list []*adversary.Capture
-			for _, c := range caps {
-				list = append(list, c)
-			}
-			sample.Add(adversary.LargestFlowFraction(list, int64(size)))
+			sample.Add(adversary.LargestFlowFraction(sortedCaptures(caps), int64(size)))
 		}
 		tbl.AddRow(mf, sample.Mean())
 	}
@@ -433,8 +429,10 @@ func ratePatternTrial(mflows int, seed uint64) (corr, peak float64, err error) {
 	}
 	until := tb.eng.Now()
 	window := time.Millisecond
+	// Pick edges in node order: "first capture with exposure" must not
+	// depend on randomized map iteration.
 	var initEdge, respEdge *adversary.Capture
-	for _, c := range caps {
+	for _, c := range sortedCaptures(caps) {
 		if len(c.Exposure(tb.hostIP(0))) > 0 && initEdge == nil {
 			initEdge = c
 		}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// miclint understands two comment directives, written `// lint:...` (the
+// space after `//` is optional, matching both gofmt'd comments and the
+// staticcheck-style `//lint:` form):
+//
+//	// lint:deterministic
+//	// lint:ignore <check> <reason>
+//
+// `lint:deterministic` tags a package as part of the determinism contract;
+// it may appear in any file of the package, conventionally in the package
+// doc comment. `lint:ignore` suppresses diagnostics of the named check that
+// are positioned on the directive's own line, or — when the directive
+// stands alone on its line — on the line immediately below it. A reason is
+// mandatory: suppressions are reviewed decisions, not mute buttons.
+
+// ignoreDirective is one parsed `lint:ignore`.
+type ignoreDirective struct {
+	pos    token.Pos
+	file   string
+	line   int
+	check  string
+	reason string
+}
+
+// badDirective is a directive that failed to parse.
+type badDirective struct {
+	pos     token.Pos
+	problem string
+}
+
+// directives is the directive set of one package.
+type directives struct {
+	deterministic bool
+	ignores       []ignoreDirective
+	bad           []badDirective
+}
+
+// parseDirectives scans every comment of every file for lint directives.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	d := &directives{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d.parseComment(fset, c)
+			}
+		}
+	}
+	return d
+}
+
+func (d *directives) parseComment(fset *token.FileSet, c *ast.Comment) {
+	text := c.Text
+	if !strings.HasPrefix(text, "//") {
+		return // /* */ comments cannot carry directives
+	}
+	body := strings.TrimPrefix(strings.TrimPrefix(text, "//"), " ")
+	if !strings.HasPrefix(body, "lint:") {
+		return
+	}
+	rest := strings.TrimPrefix(body, "lint:")
+	verb, args, _ := strings.Cut(rest, " ")
+	switch verb {
+	case "deterministic":
+		d.deterministic = true
+	case "ignore":
+		check, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+		pos := fset.Position(c.Pos())
+		switch {
+		case check == "":
+			d.bad = append(d.bad, badDirective{c.Pos(), "lint:ignore needs a check name and a reason"})
+		case strings.TrimSpace(reason) == "":
+			d.bad = append(d.bad, badDirective{c.Pos(), "lint:ignore " + check + " needs a reason"})
+		default:
+			d.ignores = append(d.ignores, ignoreDirective{
+				pos:    c.Pos(),
+				file:   pos.Filename,
+				line:   pos.Line,
+				check:  check,
+				reason: strings.TrimSpace(reason),
+			})
+		}
+	default:
+		d.bad = append(d.bad, badDirective{c.Pos(), "unknown directive lint:" + verb})
+	}
+}
+
+// suppressed reports whether a diagnostic of check at pos is covered by an
+// ignore directive: one on the same line, or one on the line directly
+// above (the directive-on-its-own-line style). A directive anywhere else —
+// e.g. drifted away from the code it once annotated — does not suppress.
+func (d *directives) suppressed(check string, pos token.Position) bool {
+	for _, ig := range d.ignores {
+		if ig.check != check || ig.file != pos.Filename {
+			continue
+		}
+		if ig.line == pos.Line || ig.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// malformed returns parse failures plus ignores naming a check that does
+// not exist — a typo'd check name would otherwise suppress nothing,
+// silently.
+func (d *directives) malformed(known map[string]bool) []badDirective {
+	out := append([]badDirective(nil), d.bad...)
+	for _, ig := range d.ignores {
+		if !known[ig.check] {
+			out = append(out, badDirective{ig.pos, "lint:ignore names unknown check " + ig.check})
+		}
+	}
+	return out
+}

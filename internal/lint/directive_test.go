@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseDirectivesFromSrc(t *testing.T, src string) *directives {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return parseDirectives(fset, []*ast.File{f})
+}
+
+func TestIgnoreParsing(t *testing.T) {
+	known := map[string]bool{"detrange": true, "virtclock": true, "directive": true}
+
+	tests := []struct {
+		name        string
+		comment     string
+		wantIgnores int
+		wantProblem string // substring of the malformed-directive message, "" if none
+	}{
+		{"valid", "// lint:ignore detrange keys sorted below", 1, ""},
+		{"valid no space after slashes", "//lint:ignore detrange keys sorted below", 1, ""},
+		{"missing reason", "// lint:ignore detrange", 0, "needs a reason"},
+		{"reason all spaces", "// lint:ignore detrange   ", 0, "needs a reason"},
+		{"missing check and reason", "// lint:ignore", 0, "needs a check name and a reason"},
+		{"unknown check", "// lint:ignore detrnge sorted below", 1, "unknown check detrnge"},
+		{"unknown verb", "// lint:frobnicate", 0, "unknown directive lint:frobnicate"},
+		{"not a directive", "// plain comment mentioning lint elsewhere", 0, ""},
+		{"block comments cannot carry directives", "/* lint:ignore detrange reason */", 0, ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			src := "package p\n\n" + tt.comment + "\nvar x int\n"
+			d := parseDirectivesFromSrc(t, src)
+			if got := len(d.ignores); got != tt.wantIgnores {
+				t.Errorf("ignores = %d, want %d", got, tt.wantIgnores)
+			}
+			bad := d.malformed(known)
+			if tt.wantProblem == "" {
+				if len(bad) != 0 {
+					t.Errorf("unexpected malformed directive: %s", bad[0].problem)
+				}
+				return
+			}
+			if len(bad) != 1 {
+				t.Fatalf("malformed = %d findings, want 1 matching %q", len(bad), tt.wantProblem)
+			}
+			if !strings.Contains(bad[0].problem, tt.wantProblem) {
+				t.Errorf("problem = %q, want it to contain %q", bad[0].problem, tt.wantProblem)
+			}
+		})
+	}
+}
+
+func TestIgnorePositionDrift(t *testing.T) {
+	// The directive sits on line 4; it must suppress diagnostics on line 4
+	// (same line) and line 5 (directly below), and nothing else.
+	src := `package p
+
+var a int
+// lint:ignore detrange reviewed reason
+var b int
+var c int
+`
+	d := parseDirectivesFromSrc(t, src)
+	if len(d.ignores) != 1 {
+		t.Fatalf("ignores = %d, want 1", len(d.ignores))
+	}
+	at := func(line int) token.Position {
+		return token.Position{Filename: "fixture.go", Line: line, Column: 1}
+	}
+	for line, want := range map[int]bool{3: false, 4: true, 5: true, 6: false} {
+		if got := d.suppressed("detrange", at(line)); got != want {
+			t.Errorf("suppressed at line %d = %v, want %v", line, got, want)
+		}
+	}
+	// Check-name and file mismatches never suppress.
+	if d.suppressed("virtclock", at(5)) {
+		t.Error("suppressed a different check")
+	}
+	other := token.Position{Filename: "other.go", Line: 5, Column: 1}
+	if d.suppressed("detrange", other) {
+		t.Error("suppressed a diagnostic in a different file")
+	}
+}
+
+func TestDeterministicDirective(t *testing.T) {
+	tagged := parseDirectivesFromSrc(t, "// Package p.\n//\n// lint:deterministic\npackage p\n")
+	if !tagged.deterministic {
+		t.Error("lint:deterministic in the package doc was not recognized")
+	}
+	plain := parseDirectivesFromSrc(t, "// Package p.\npackage p\n")
+	if plain.deterministic {
+		t.Error("untagged package reported deterministic")
+	}
+}
+
+// TestDirectiveFixture runs the end-to-end golden test: malformed and
+// drifted directives fail to suppress and report themselves.
+func TestDirectiveFixture(t *testing.T) {
+	runTestdata(t, []*Analyzer{VirtClock}, "directive")
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestHandlerBlock(t *testing.T) {
+	runTestdata(t, []*Analyzer{HandlerBlock}, "handlerblock")
+}

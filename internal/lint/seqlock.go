@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// SeqLock enforces documented lock discipline: a struct field whose comment
+// says `guarded by <mu>` may only be read or written inside a function that
+// acquires that mutex. The check is containment-based, not flow-based: a
+// function counts as "holding" the mutex if its body contains a Lock/RLock
+// call (or a deferred Unlock/RUnlock) on the same mutex field. Functions
+// that construct the struct — their body contains a composite literal of
+// the guarded type, so the value is not yet shared — are exempt.
+var SeqLock = &Analyzer{
+	Name: "seqlock",
+	Doc:  "flags accesses to fields documented `guarded by <mu>` outside functions that lock <mu>",
+	Run:  runSeqLock,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardInfo is one documented guard relationship.
+type guardInfo struct {
+	mu     types.Object // the mutex field object
+	muName string
+	owner  types.Type // the struct type, for constructor exemption
+}
+
+func runSeqLock(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		var funcs []*ast.FuncDecl
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				funcs = append(funcs, fd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			g, guarded := guards[selection.Obj()]
+			if !guarded {
+				return true
+			}
+			fd := enclosingFunc(funcs, sel)
+			if fd == nil {
+				return true
+			}
+			if locksMutex(pass, fd, g.mu) || constructsOwner(pass, fd, g.owner) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s is documented `guarded by %s` but %s does not lock %s",
+				selection.Obj().Name(), g.muName, fd.Name.Name, g.muName)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectGuards finds struct fields documented `guarded by <mu>` and
+// resolves the named mutex field within the same struct.
+func collectGuards(pass *Pass) map[types.Object]guardInfo {
+	guards := map[types.Object]guardInfo{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			ownerObj := pass.TypesInfo.Defs[ts.Name]
+			if ownerObj == nil {
+				return true
+			}
+			fieldObjs := map[string]types.Object{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					fieldObjs[name.Name] = pass.TypesInfo.Defs[name]
+				}
+			}
+			for _, field := range st.Fields.List {
+				muName := guardComment(field)
+				if muName == "" {
+					continue
+				}
+				mu, ok := fieldObjs[muName]
+				if !ok {
+					pass.Reportf(field.Pos(),
+						"field documented `guarded by %s` but struct %s has no field %s",
+						muName, ts.Name.Name, muName)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil && obj != mu {
+						guards[obj] = guardInfo{mu: mu, muName: muName, owner: ownerObj.Type()}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardComment(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// enclosingFunc returns the top-level function declaration whose body
+// contains pos. Closures inherit their enclosing function's verdict: a
+// callback defined inside a locked region is treated as locked (it may
+// escape, but that is what suppressions with reasons are for).
+func enclosingFunc(funcs []*ast.FuncDecl, n ast.Node) *ast.FuncDecl {
+	for _, fd := range funcs {
+		if fd.Body.Pos() <= n.Pos() && n.End() <= fd.Body.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// locksMutex reports whether fd's body contains a Lock/RLock (or deferred
+// Unlock/RUnlock) call on the mutex field object mu.
+func locksMutex(pass *Pass, fd *ast.FuncDecl, mu types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+		default:
+			return true
+		}
+		recv, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if rs, ok := pass.TypesInfo.Selections[recv]; ok && rs.Obj() == mu {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// constructsOwner reports whether fd's body builds a composite literal of
+// the guarded struct — the constructor case, where the value is private.
+func constructsOwner(pass *Pass, fd *ast.FuncDecl, owner types.Type) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok || found {
+			return !found
+		}
+		if tv, ok := pass.TypesInfo.Types[cl]; ok && types.Identical(tv.Type, owner) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

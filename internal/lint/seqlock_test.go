@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSeqLock(t *testing.T) {
+	runTestdata(t, []*Analyzer{SeqLock}, "seqlock")
+}

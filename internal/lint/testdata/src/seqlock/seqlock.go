@@ -1,0 +1,57 @@
+// Package seqlock is a miclint test fixture: fields documented
+// `guarded by mu` accessed with and without the lock, the constructor
+// exemption, and a reviewed suppression.
+package seqlock
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+
+	// n is the running total.
+	//
+	// guarded by mu
+	n int
+
+	last int // guarded by mu
+
+	free int // no guard documented
+}
+
+// newCounter is exempt: it builds the composite literal, so the value is
+// not yet shared.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// add is exempt: it locks mu around the accesses.
+func (c *counter) add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	c.last = d
+}
+
+// peek reads a guarded field without the lock.
+func (c *counter) peek() int {
+	return c.n // want `field n is documented .guarded by mu. but peek does not lock mu`
+}
+
+// stale carries a reviewed suppression for a tolerated racy read.
+func (c *counter) stale() int {
+	// lint:ignore seqlock monitoring read; a stale value is acceptable here
+	return c.last
+}
+
+// unguarded is exempt: free has no guard comment.
+func (c *counter) unguarded() int {
+	return c.free
+}
+
+type broken struct {
+	v int // guarded by lock — want `struct broken has no field lock`
+}
+
+func (b *broken) get() int { return b.v }

@@ -1,0 +1,42 @@
+// Package virtclock is a miclint test fixture: wall-clock reads and
+// global randomness in a deterministic package, plus legal uses and a
+// reviewed suppression.
+//
+// lint:deterministic
+package virtclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wall() time.Duration {
+	start := time.Now()          // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	<-time.After(time.Second)    // want `time.After reads the wall clock`
+	return time.Since(start)     // want `time.Since reads the wall clock`
+}
+
+func globalRand() int {
+	if rand.Float64() < 0.5 { // want `rand.Float64 draws from the process-global random source`
+		return rand.Intn(10) // want `rand.Intn draws from the process-global random source`
+	}
+	return 0
+}
+
+// seeded is exempt: a locally seeded generator is deterministic state.
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// durations is exempt: duration arithmetic and formatting never touch the
+// host clock.
+func durations(d time.Duration) string {
+	return (2 * d).Truncate(time.Millisecond).String()
+}
+
+// suppressed carries a reviewed lint:ignore.
+func suppressed() time.Time {
+	// lint:ignore virtclock harness-boundary timestamp for log labels only
+	return time.Now()
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// VirtClock flags wall-clock reads and global-randomness draws in
+// deterministic packages. Code running inside the simulation engine must
+// take time from sim.Engine.Now and randomness from a seeded sim.RNG
+// stream; time.Now or the process-global math/rand source make a run a
+// function of the host machine instead of the seed.
+var VirtClock = &Analyzer{
+	Name:              "virtclock",
+	Doc:               "flags wall-clock and global math/rand use in packages tagged lint:deterministic",
+	DeterministicOnly: true,
+	Run:               runVirtClock,
+}
+
+// wallClockFuncs are the package time functions that read or wait on the
+// host clock. Duration arithmetic and formatting stay legal — the
+// simulator uses time.Duration for virtual intervals throughout.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRandFuncs are the package-level math/rand (and math/rand/v2)
+// functions backed by the shared global source. Constructing a local
+// generator with rand.New(rand.NewSource(seed)) is not flagged — seeded
+// local state is exactly what the contract asks for (prefer sim.RNG).
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"Uint": true, "UintN": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func runVirtClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions qualify: methods on local
+			// timers or generators are someone else's business.
+			if _, isSig := fn.Type().(*types.Signature); !isSig || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock in a deterministic package; use the sim.Engine clock (Now/At/After)",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"%s.%s draws from the process-global random source; use a seeded sim.RNG stream",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

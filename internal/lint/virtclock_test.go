@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestVirtClock(t *testing.T) {
+	runTestdata(t, []*Analyzer{VirtClock}, "virtclock")
+}

@@ -21,6 +21,10 @@
 //
 // Flow IDs therefore live in an FPart-bit space; the Mimic Controller
 // recycles expired IDs exactly as the paper prescribes.
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
 package maga
 
 import (

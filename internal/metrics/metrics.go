@@ -2,6 +2,10 @@
 // scalar sample summaries, throughput/latency recorders, virtual-CPU cost
 // accounting (the substitute for the paper's physical CPU-usage probes), and
 // fixed-width table rendering for harness output.
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
 package metrics
 
 import (
@@ -137,6 +141,7 @@ func (a *CPUAccount) Category(c string) time.Duration { return a.byCategory[c] }
 // Categories returns the category names in sorted order.
 func (a *CPUAccount) Categories() []string {
 	out := make([]string, 0, len(a.byCategory))
+	// lint:ignore detrange keys are collected then sorted immediately below
 	for c := range a.byCategory {
 		out = append(out, c)
 	}

@@ -2,6 +2,7 @@ package mic
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mic/internal/ctrlplane"
@@ -67,7 +68,7 @@ func (mc *MC) StopProber() {
 
 // failLink schedules repair for every channel routed over the failed link.
 func (mc *MC) failLink(lk linkKey) {
-	for id := range mc.linkChannels[lk] {
+	for _, id := range sortedIDSet(mc.linkChannels[lk]) {
 		mc.scheduleRepair(id)
 	}
 }
@@ -75,9 +76,23 @@ func (mc *MC) failLink(lk linkKey) {
 // failNode schedules repair for every channel whose path crosses the failed
 // switch.
 func (mc *MC) failNode(node topo.NodeID) {
-	for id := range mc.nodeChannels[node] {
+	for _, id := range sortedIDSet(mc.nodeChannels[node]) {
 		mc.scheduleRepair(id)
 	}
+}
+
+// sortedIDSet returns the channel IDs of set in ascending order. Repair
+// jobs run serialized in schedule order, and each consumes RNG draws while
+// re-routing — scheduling them in randomized map order would make the
+// whole recovery trace differ run to run.
+func sortedIDSet(set map[uint64]bool) []uint64 {
+	ids := make([]uint64, 0, len(set))
+	// lint:ignore detrange keys are collected then sorted immediately below
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // switchRestored purges rule epochs that could not be deleted while the

@@ -482,6 +482,7 @@ func (m *healthMonitor) retransmitOverdue(now sim.Time) {
 	// and sort it by sequence number so the resend order — and the RNG
 	// draws it consumes — is deterministic.
 	var due []uint32
+	// lint:ignore detrange overdue set is sorted by sequence below before any resend
 	for seq, o := range m.outstanding {
 		// Exponential backoff per slice: a copy may still be crawling in
 		// over a sick-but-alive flow, and re-sending it every timeout

@@ -6,6 +6,10 @@
 // of a flow. The client library provides a socket-like API (Dial / Listen)
 // and implements the two traffic-analysis defenses: multiple m-flows
 // (traffic slicing) and partial multicast (decoy replication at edge MNs).
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
 package mic
 
 import (

@@ -2,6 +2,7 @@ package mic
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mic/internal/addr"
@@ -605,7 +606,7 @@ func (mc *MC) RepairChannel(id uint64, cb func(error)) {
 // the delete — are remembered in staleCookies and purged when they come
 // back (a restarting switch reconnects with whatever rules it had).
 func (mc *MC) purgeOldEpoch(switches map[topo.NodeID]bool, cookie uint64) {
-	for node := range switches {
+	for _, node := range sortedNodeSet(switches) {
 		node := node
 		sw := mc.Net.Switch(node)
 		if sw.Down {
@@ -696,7 +697,7 @@ func (mc *MC) CloseChannel(id uint64, cb func()) error {
 		}
 		return nil
 	}
-	for node := range st.switches {
+	for _, node := range sortedNodeSet(st.switches) {
 		mc.Ch.DeleteByCookie(mc.Net.Switch(node), st.cookie(id), func(int) {
 			remaining--
 			if remaining == 0 && cb != nil {
@@ -705,6 +706,18 @@ func (mc *MC) CloseChannel(id uint64, cb func()) error {
 		})
 	}
 	return nil
+}
+
+// sortedNodeSet returns the node IDs of set in ascending order, so that
+// southbound message order never depends on randomized map iteration.
+func sortedNodeSet(set map[topo.NodeID]bool) []topo.NodeID {
+	nodes := make([]topo.NodeID, 0, len(set))
+	// lint:ignore detrange keys are collected then sorted immediately below
+	for node := range set {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
 }
 
 // LiveChannels reports how many channels are currently established.

@@ -6,6 +6,10 @@
 // Every simulated operation charges virtual CPU time to a
 // metrics.CPUAccount, which is how the repository reproduces the paper's
 // CPU-usage comparison (Fig 9c) without physical probes.
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
 package netsim
 
 import (
@@ -307,6 +311,7 @@ func (n *Network) Hosts() []*Host {
 
 // SetController attaches ctrl to every switch.
 func (n *Network) SetController(ctrl Controller) {
+	// lint:ignore detrange independent field write per switch; no cross-iteration state
 	for _, sw := range n.switches {
 		sw.Ctrl = ctrl
 	}

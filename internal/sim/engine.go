@@ -6,6 +6,10 @@
 // and adversary code in this repository executes inside a single Engine;
 // parallelism is obtained by running independent engines (one per trial) on
 // separate goroutines, never by sharing one engine.
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
 package sim
 
 import (

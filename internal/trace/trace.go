@@ -2,6 +2,10 @@
 // tcpdump. A Recorder attaches to any set of nodes, keeps a bounded ring of
 // events, and renders them as text or as a standard pcap byte stream
 // (libpcap format, LINKTYPE_ETHERNET) that external tools can open.
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
 package trace
 
 import (

@@ -7,6 +7,10 @@
 // The API is continuation-style because the simulator is single-threaded
 // discrete-event: completions arrive via callbacks on the engine's virtual
 // timeline, never by blocking.
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
 package transport
 
 import (

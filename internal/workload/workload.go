@@ -3,6 +3,10 @@
 // pairs. Experiments use it to measure MIC's behaviour in a busy fabric and
 // to give the adversary a realistic confusion set — a quiet network makes
 // every attack look artificially easy.
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
 package workload
 
 import (
