@@ -7,9 +7,11 @@
 //	micbench -all               # everything
 //	micbench -all -quick        # smaller transfers, single trial
 //	micbench -list              # show experiment IDs
+//	micbench -all -json out.json # also write machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,15 +21,37 @@ import (
 	"mic/internal/harness"
 )
 
+// jsonResult is one experiment's table in machine-readable form. The rows
+// are the already-formatted table cells, so the JSON is byte-stable across
+// runs with the same seed (part of the determinism contract) apart from the
+// wall-clock elapsed field.
+type jsonResult struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	Elapsed string     `json:"elapsed"`
+}
+
+// jsonDoc is the top-level document written by -json.
+type jsonDoc struct {
+	Seed    uint64       `json:"seed"`
+	Trials  int          `json:"trials"`
+	Quick   bool         `json:"quick"`
+	Results []jsonResult `json:"results"`
+}
+
 func main() {
 	var (
-		fig    = flag.String("fig", "", "experiment ID to run (7, 8, 9a, 9b, 9c, s1..s4, a1..a3)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list experiments")
-		quick  = flag.Bool("quick", false, "reduced sizes and trials")
-		seed   = flag.Uint64("seed", 1, "base RNG seed")
-		trials = flag.Int("trials", 0, "trials per data point (0 = default)")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		fig      = flag.String("fig", "", "experiment ID to run (7, 8, 9a, 9b, 9c, s1..s4, a1..a3)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiments")
+		quick    = flag.Bool("quick", false, "reduced sizes and trials")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		trials   = flag.Int("trials", 0, "trials per data point (0 = default)")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonPath = flag.String("json", "", "also write all results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -53,6 +77,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	doc := jsonDoc{Seed: *seed, Trials: *trials, Quick: *quick}
 	for _, e := range exps {
 		start := time.Now()
 		res, err := e.Run(cfg)
@@ -60,8 +85,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start).Round(time.Millisecond)
 		fmt.Print(res.String())
-		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(regenerated in %v)\n\n", elapsed)
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -74,5 +100,28 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n\n", path)
 		}
+		if *jsonPath != "" {
+			doc.Results = append(doc.Results, jsonResult{
+				ID:      res.ID,
+				Title:   res.Title,
+				Header:  res.Table.Header(),
+				Rows:    res.Table.Rows(),
+				Notes:   res.Notes,
+				Elapsed: elapsed.String(),
+			})
+		}
+	}
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

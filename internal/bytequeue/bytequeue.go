@@ -1,0 +1,55 @@
+// Package bytequeue provides a FIFO byte buffer with amortized O(1)
+// append and pop-front.
+//
+// The naive pattern it replaces — `buf = append(buf, b...)` to push and
+// `buf = buf[n:]` to consume — leaks the consumed prefix: re-slicing off
+// the front permanently discards that capacity, so a long-lived stream
+// buffer re-grows (and re-copies its in-flight tail) on nearly every
+// append. Queue reclaims the consumed prefix by compacting in place
+// before it grows, so steady-state traffic through a bounded window
+// allocates nothing.
+//
+// This package is part of the determinism contract (DESIGN.md).
+//
+// lint:deterministic
+package bytequeue
+
+// Queue is a FIFO of bytes. The zero value is an empty queue ready to
+// use.
+type Queue struct {
+	buf []byte
+	off int // start of live data within buf
+}
+
+// Len returns the number of unconsumed bytes.
+func (q *Queue) Len() int { return len(q.buf) - q.off }
+
+// Bytes returns the unconsumed bytes. The slice aliases the queue's
+// storage and is valid only until the next Append or PopFront.
+func (q *Queue) Bytes() []byte { return q.buf[q.off:] }
+
+// Append pushes b onto the back of the queue.
+func (q *Queue) Append(b []byte) {
+	if len(q.buf)+len(b) > cap(q.buf) && q.off > 0 {
+		// Reclaim the consumed prefix before letting append grow the
+		// array: under a bounded in-flight window the live tail is
+		// short, so compaction usually makes growth unnecessary.
+		n := copy(q.buf, q.buf[q.off:])
+		q.buf = q.buf[:n]
+		q.off = 0
+	}
+	q.buf = append(q.buf, b...)
+}
+
+// PopFront consumes n bytes from the front. It panics if n exceeds Len
+// or is negative.
+func (q *Queue) PopFront(n int) {
+	if n < 0 || n > q.Len() {
+		panic("bytequeue: PopFront out of range")
+	}
+	q.off += n
+	if q.off == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.off = 0
+	}
+}

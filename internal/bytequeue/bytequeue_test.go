@@ -1,0 +1,90 @@
+package bytequeue
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	var q Queue
+	q.Append([]byte("hello "))
+	q.Append([]byte("world"))
+	if got := string(q.Bytes()); got != "hello world" {
+		t.Fatalf("Bytes() = %q", got)
+	}
+	q.PopFront(6)
+	if got := string(q.Bytes()); got != "world" {
+		t.Fatalf("after PopFront: %q", got)
+	}
+	q.Append([]byte("!"))
+	if got := string(q.Bytes()); got != "world!" {
+		t.Fatalf("after Append: %q", got)
+	}
+	q.PopFront(q.Len())
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d after draining", q.Len())
+	}
+}
+
+func TestPopFrontOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var q Queue
+	q.Append([]byte("ab"))
+	q.PopFront(3)
+}
+
+// TestSteadyStateAllocFree is the point of the package: pushing a bounded
+// window through the queue must not allocate once capacity has been
+// established, even though consumption happens at the front.
+func TestSteadyStateAllocFree(t *testing.T) {
+	var q Queue
+	chunk := bytes.Repeat([]byte{0xAB}, 1460)
+	// Establish capacity for the in-flight window.
+	for i := 0; i < 8; i++ {
+		q.Append(chunk)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.PopFront(len(chunk))
+		q.Append(chunk)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Append/PopFront allocated %v times, want 0", allocs)
+	}
+}
+
+// TestCompactionPreservesContent drives the queue through many
+// append/consume cycles with odd sizes so compaction triggers at
+// unaligned offsets, checking the byte stream survives intact.
+func TestCompactionPreservesContent(t *testing.T) {
+	var q Queue
+	next := byte(0) // next value to push
+	want := byte(0) // next value expected at the front
+	push := func(n int) {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = next
+			next++
+		}
+		q.Append(b)
+	}
+	pop := func(n int) {
+		got := q.Bytes()[:n]
+		for i, c := range got {
+			if c != want {
+				t.Fatalf("byte %d: got %d, want %d", i, c, want)
+			}
+			want++
+		}
+		q.PopFront(n)
+	}
+	push(100)
+	for i := 0; i < 500; i++ {
+		pop(37)
+		push(41)
+	}
+	pop(q.Len())
+}

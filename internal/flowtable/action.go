@@ -32,13 +32,13 @@ func (a SetEthDst) String() string         { return fmt.Sprintf("set_eth_dst:%v"
 // SetIPSrc rewrites the source IPv4 address.
 type SetIPSrc addr.IP
 
-func (a SetIPSrc) Apply(p *packet.Packet) { p.SrcIP = addr.IP(a) }
+func (a SetIPSrc) Apply(p *packet.Packet) { p.SetSrcIP(addr.IP(a)) }
 func (a SetIPSrc) String() string         { return fmt.Sprintf("set_ip_src:%v", addr.IP(a)) }
 
 // SetIPDst rewrites the destination IPv4 address.
 type SetIPDst addr.IP
 
-func (a SetIPDst) Apply(p *packet.Packet) { p.DstIP = addr.IP(a) }
+func (a SetIPDst) Apply(p *packet.Packet) { p.SetDstIP(addr.IP(a)) }
 func (a SetIPDst) String() string         { return fmt.Sprintf("set_ip_dst:%v", addr.IP(a)) }
 
 // SetTPSrc rewrites the transport source port.
@@ -69,14 +69,8 @@ func (PopMPLS) String() string         { return "pop_mpls" }
 // permissive software-switch behaviour).
 type SetMPLS addr.Label
 
-func (a SetMPLS) Apply(p *packet.Packet) {
-	if len(p.MPLS) == 0 {
-		p.PushMPLS(addr.Label(a))
-		return
-	}
-	p.MPLS[0] = addr.Label(a)
-}
-func (a SetMPLS) String() string { return fmt.Sprintf("set_mpls:%v", addr.Label(a)) }
+func (a SetMPLS) Apply(p *packet.Packet) { p.SetTopMPLS(addr.Label(a)) }
+func (a SetMPLS) String() string         { return fmt.Sprintf("set_mpls:%v", addr.Label(a)) }
 
 // Output forwards the packet (as rewritten so far) out a port.
 type Output int

@@ -1,0 +1,351 @@
+package flowtable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mic/internal/addr"
+	"mic/internal/packet"
+	"mic/internal/sim"
+)
+
+// --- differential property test: cached lookup ≡ linear scan -------------
+
+// Small value domains so random entries and packets collide often — the
+// interesting regime for a cache.
+var diffMasks = []FieldMask{
+	0, // match-any
+	MatchInPort,
+	MatchIPSrc,
+	MatchIPDst,
+	MatchIPSrc | MatchIPDst,
+	MatchIPSrc | MatchIPDst | MatchTPDst,
+	MatchEthSrc,
+	MatchEthDst | MatchProto,
+	MatchProto,
+	MatchTPSrc,
+	MatchMPLS,
+	MatchMPLS | MatchIPDst,
+	MatchNoMPLS,
+	MatchNoMPLS | MatchIPSrc,
+	MatchInPort | MatchMPLS,
+}
+
+func randomMatch(rng *rand.Rand) Match {
+	return Match{
+		Mask:   diffMasks[rng.Intn(len(diffMasks))],
+		InPort: rng.Intn(4),
+		EthSrc: addr.MAC(rng.Intn(3)),
+		EthDst: addr.MAC(rng.Intn(3)),
+		IPSrc:  addr.IP(rng.Intn(4)),
+		IPDst:  addr.IP(rng.Intn(4)),
+		Proto:  []uint8{packet.ProtoTCP, packet.ProtoUDP}[rng.Intn(2)],
+		TPSrc:  uint16(80 + rng.Intn(2)),
+		TPDst:  uint16(80 + rng.Intn(2)),
+		MPLS:   addr.Label(rng.Intn(3)),
+	}
+}
+
+func randomEntry(rng *rand.Rand) *Entry {
+	e := &Entry{
+		Priority: rng.Intn(8),
+		Match:    randomMatch(rng),
+		Cookie:   uint64(rng.Intn(6)),
+	}
+	if rng.Intn(4) == 0 {
+		e.IdleTimeout = time.Duration(1+rng.Intn(5)) * time.Second
+	}
+	if rng.Intn(4) == 0 {
+		e.HardTimeout = time.Duration(1+rng.Intn(5)) * time.Second
+	}
+	return e
+}
+
+func randomPacket(rng *rand.Rand) *packet.Packet {
+	p := &packet.Packet{
+		SrcMAC: addr.MAC(rng.Intn(3)),
+		DstMAC: addr.MAC(rng.Intn(3)),
+		SrcIP:  addr.IP(rng.Intn(4)),
+		DstIP:  addr.IP(rng.Intn(4)),
+		Proto:  []uint8{packet.ProtoTCP, packet.ProtoUDP}[rng.Intn(2)],
+		TTL:    64,
+	}
+	p.SrcPort = uint16(80 + rng.Intn(2))
+	p.DstPort = uint16(80 + rng.Intn(2))
+	for n := rng.Intn(3); n > 0; n-- {
+		p.PushMPLS(addr.Label(rng.Intn(3)))
+	}
+	return p
+}
+
+// TestDifferentialCachedVsLinear drives random tables through interleaved
+// lookups and mutations (insert, replace, cookie delete, expiry, group
+// edits) and checks every cached/classifier Lookup against the linear
+// priority scan oracle. This is the equivalence proof for the whole caching
+// design, invalidation included.
+func TestDifferentialCachedVsLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		tb := NewTable()
+		now := sim.Time(0)
+		for i, n := 0, rng.Intn(40); i < n; i++ {
+			tb.Insert(randomEntry(rng), now)
+		}
+		for step := 0; step < 300; step++ {
+			now += sim.Time(rng.Intn(int(time.Second)))
+			p := randomPacket(rng)
+			inPort := rng.Intn(4)
+			want := tb.lookupLinear(p, inPort)
+			got, _ := tb.Lookup(p, inPort, now)
+			if got != want {
+				t.Fatalf("trial %d step %d: cached Lookup = %+v, linear oracle = %+v\npacket %v inPort %d\ntable:\n%s",
+					trial, step, got, want, p, inPort, tb.Dump())
+			}
+			switch rng.Intn(12) {
+			case 0, 1:
+				tb.Insert(randomEntry(rng), now)
+			case 2:
+				tb.DeleteByCookie(uint64(rng.Intn(6)))
+			case 3:
+				tb.Expire(now)
+			case 4:
+				tb.SetGroup(&Group{ID: GroupID(rng.Intn(3))})
+			case 5:
+				tb.DeleteGroup(GroupID(rng.Intn(3)))
+			}
+		}
+	}
+}
+
+// --- invalidation edge cases ---------------------------------------------
+
+func lookupMust(t *testing.T, tb *Table, p *packet.Packet, inPort int, now sim.Time) (*Entry, bool) {
+	t.Helper()
+	e, hit := tb.Lookup(p, inPort, now)
+	return e, hit
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	tb := NewTable()
+	e := &Entry{Priority: 1, Match: Match{Mask: MatchIPDst, IPDst: pkt().DstIP}}
+	tb.Insert(e, 0)
+	if _, hit := tb.Lookup(pkt(), 0, 0); hit {
+		t.Fatal("first lookup reported a cache hit")
+	}
+	got, hit := tb.Lookup(pkt(), 0, 0)
+	if !hit || got != e {
+		t.Fatalf("second lookup: entry %v hit %v, want cached %v", got, hit, e)
+	}
+	if tb.CacheHits != 1 || tb.CacheMisses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", tb.CacheHits, tb.CacheMisses)
+	}
+}
+
+func TestCacheMissesAreNotCached(t *testing.T) {
+	tb := NewTable()
+	tb.Insert(&Entry{Priority: 1, Match: Match{Mask: MatchIPSrc, IPSrc: 99}}, 0)
+	for i := 0; i < 3; i++ {
+		if e, hit := tb.Lookup(pkt(), 0, 0); e != nil || hit {
+			t.Fatalf("lookup %d: entry %v hit %v, want table miss on slow path", i, e, hit)
+		}
+	}
+	if tb.CacheMisses != 3 {
+		t.Fatalf("CacheMisses = %d, want 3 (misses must stay slow-path upcalls)", tb.CacheMisses)
+	}
+}
+
+func TestCacheInvalidatedByHigherPriorityInsert(t *testing.T) {
+	tb := NewTable()
+	lo := &Entry{Priority: 1, Match: Match{}}
+	tb.Insert(lo, 0)
+	tb.Lookup(pkt(), 0, 0)
+	tb.Lookup(pkt(), 0, 0) // cached
+
+	hi := &Entry{Priority: 9, Match: Match{Mask: MatchIPDst, IPDst: pkt().DstIP}}
+	tb.Insert(hi, 0)
+	got, hit := tb.Lookup(pkt(), 0, 0)
+	if hit {
+		t.Fatal("stale cache entry served after Insert")
+	}
+	if got != hi {
+		t.Fatalf("post-insert lookup = %+v, want new high-priority entry", got)
+	}
+}
+
+// TestCacheInvalidatedByReplaceInsert covers replace-on-equal-match: the new
+// entry takes the old one's place (and tie-break position) and the cache
+// must stop serving the replaced pointer.
+func TestCacheInvalidatedByReplaceInsert(t *testing.T) {
+	tb := NewTable()
+	m := Match{Mask: MatchIPDst, IPDst: pkt().DstIP}
+	old := &Entry{Priority: 5, Match: m, Cookie: 1}
+	tb.Insert(old, 0)
+	// A later entry that ties on priority: the replacement must keep winning
+	// the tie-break by inheriting old's insertion position.
+	tie := &Entry{Priority: 5, Match: Match{}, Cookie: 2}
+	tb.Insert(tie, 0)
+	tb.Lookup(pkt(), 0, 0)
+	tb.Lookup(pkt(), 0, 0) // cached -> old
+
+	repl := &Entry{Priority: 5, Match: m, Cookie: 3}
+	tb.Insert(repl, 0)
+	got, hit := tb.Lookup(pkt(), 0, 0)
+	if hit {
+		t.Fatal("stale cache entry served after replace")
+	}
+	if got != repl {
+		t.Fatalf("post-replace lookup cookie = %d, want replacement (cookie 3) to inherit position", got.Cookie)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d after replace, want 2", tb.Len())
+	}
+}
+
+func TestCacheInvalidatedByCookieDelete(t *testing.T) {
+	tb := NewTable()
+	hi := &Entry{Priority: 9, Match: Match{Mask: MatchIPDst, IPDst: pkt().DstIP}, Cookie: 7}
+	lo := &Entry{Priority: 1, Match: Match{}, Cookie: 8}
+	tb.Insert(hi, 0)
+	tb.Insert(lo, 0)
+	tb.Lookup(pkt(), 0, 0)
+	tb.Lookup(pkt(), 0, 0) // cached -> hi
+
+	if n := tb.DeleteByCookie(7); n != 1 {
+		t.Fatalf("DeleteByCookie removed %d, want 1", n)
+	}
+	got, hit := tb.Lookup(pkt(), 0, 0)
+	if hit {
+		t.Fatal("stale cache entry served after cookie delete")
+	}
+	if got != lo {
+		t.Fatalf("post-delete lookup = %+v, want fallback entry", got)
+	}
+}
+
+// TestCacheInvalidatedByTimeoutEviction exercises idle eviction under load:
+// cache hits keep refreshing LastUsed (so the entry survives while traffic
+// flows), then a quiet gap lets Expire evict it, and the cache must not
+// serve the evicted entry afterwards.
+func TestCacheInvalidatedByTimeoutEviction(t *testing.T) {
+	tb := NewTable()
+	e := &Entry{Priority: 5, Match: Match{Mask: MatchIPDst, IPDst: pkt().DstIP}, IdleTimeout: 10 * time.Second}
+	lo := &Entry{Priority: 1, Match: Match{}}
+	tb.Insert(e, 0)
+	tb.Insert(lo, 0)
+
+	// Sustained load: hits at 1s intervals, interleaved with Expire sweeps.
+	now := sim.Time(0)
+	for i := 0; i < 20; i++ {
+		now += sim.Time(time.Second)
+		if ev := tb.Expire(now); len(ev) != 0 {
+			t.Fatalf("entry evicted at %v despite active traffic", now)
+		}
+		got, _ := tb.Lookup(pkt(), 0, now)
+		if got != e {
+			t.Fatalf("lookup under load = %+v, want idle-timeout entry", got)
+		}
+	}
+
+	// Quiet gap exceeds the idle timeout.
+	now += sim.Time(11 * time.Second)
+	ev := tb.Expire(now)
+	if len(ev) != 1 || ev[0] != e {
+		t.Fatalf("Expire after gap = %v, want the idle entry", ev)
+	}
+	got, hit := tb.Lookup(pkt(), 0, now)
+	if hit {
+		t.Fatal("stale cache entry served after timeout eviction")
+	}
+	if got != lo {
+		t.Fatalf("post-eviction lookup = %+v, want fallback entry", got)
+	}
+}
+
+func TestCacheInvalidatedByGroupEdits(t *testing.T) {
+	tb := NewTable()
+	e := &Entry{Priority: 5, Match: Match{}, Actions: []Action{OutputGroup(4)}}
+	tb.Insert(e, 0)
+	tb.Lookup(pkt(), 0, 0)
+	if _, hit := tb.Lookup(pkt(), 0, 0); !hit {
+		t.Fatal("warm-up lookup not cached")
+	}
+
+	tb.SetGroup(&Group{ID: 4, Buckets: []Bucket{{Actions: []Action{Output(1)}}}})
+	if _, hit := tb.Lookup(pkt(), 0, 0); hit {
+		t.Fatal("cache survived SetGroup: group edits must flush the fast path")
+	}
+	if _, hit := tb.Lookup(pkt(), 0, 0); !hit {
+		t.Fatal("cache not repopulated after SetGroup flush")
+	}
+
+	tb.DeleteGroup(4)
+	if _, hit := tb.Lookup(pkt(), 0, 0); hit {
+		t.Fatal("cache survived DeleteGroup")
+	}
+}
+
+func TestMicroCacheBounded(t *testing.T) {
+	tb := NewTable()
+	tb.Insert(&Entry{Priority: 1, Match: Match{}}, 0)
+	for i := 0; i < microCap+100; i++ {
+		p := pkt()
+		p.SetSrcIP(addr.IP(i))
+		tb.Lookup(p, 0, 0)
+	}
+	if len(tb.micro) > microCap {
+		t.Fatalf("microflow cache grew to %d entries, cap is %d", len(tb.micro), microCap)
+	}
+}
+
+// TestInsertKeepsSortedOrder checks the binary-search insertion against the
+// documented invariant directly for a mix of priorities including ties.
+func TestInsertKeepsSortedOrder(t *testing.T) {
+	tb := NewTable()
+	prios := []int{5, 1, 9, 5, 3, 9, 0, 5, 7, 2}
+	for i, pr := range prios {
+		tb.Insert(&Entry{Priority: pr, Match: Match{Mask: MatchInPort, InPort: i}, Cookie: uint64(i)}, 0)
+	}
+	es := tb.Entries()
+	for i := 1; i < len(es); i++ {
+		if entryLess(es[i], es[i-1]) {
+			t.Fatalf("entries out of order at %d: %s", i, tb.Dump())
+		}
+	}
+	// Equal priorities must tie-break by insertion order.
+	var fives []uint64
+	for _, e := range es {
+		if e.Priority == 5 {
+			fives = append(fives, e.Cookie)
+		}
+	}
+	if fmt.Sprint(fives) != "[0 3 7]" {
+		t.Fatalf("tie-break order = %v, want insertion order [0 3 7]", fives)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := NewTable()
+		for j := 0; j < 128; j++ {
+			tb.Insert(&Entry{Priority: j % 16, Match: Match{Mask: MatchMPLS, MPLS: addr.Label(j)}}, 0)
+		}
+	}
+}
+
+func BenchmarkLookupCacheHit(b *testing.B) {
+	tb := NewTable()
+	for i := 0; i < 64; i++ {
+		tb.Insert(&Entry{Priority: i, Match: Match{Mask: MatchIPSrc, IPSrc: addr.IP(i + 100)}}, 0)
+	}
+	tb.Insert(&Entry{Priority: 0, Match: Match{}}, 0)
+	p := pkt()
+	tb.Lookup(p, 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(p, 0, 0)
+	}
+}

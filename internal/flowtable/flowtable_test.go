@@ -143,7 +143,7 @@ func TestTablePriorityOrder(t *testing.T) {
 	hi := &Entry{Priority: 10, Match: Match{Mask: MatchIPSrc, IPSrc: pkt().SrcIP}, Cookie: 2}
 	tb.Insert(lo, 0)
 	tb.Insert(hi, 0)
-	e := tb.Lookup(pkt(), 0, 0)
+	e, _ := tb.Lookup(pkt(), 0, 0)
 	if e != hi {
 		t.Fatalf("Lookup returned cookie %d, want high-priority entry", e.Cookie)
 	}
@@ -155,7 +155,7 @@ func TestTableTieBreakByInsertionOrder(t *testing.T) {
 	second := &Entry{Priority: 5, Match: Match{}, Cookie: 2}
 	tb.Insert(first, 0)
 	tb.Insert(second, 0)
-	if e := tb.Lookup(pkt(), 0, 0); e != first {
+	if e, _ := tb.Lookup(pkt(), 0, 0); e != first {
 		t.Fatalf("tie broken wrong: cookie %d", e.Cookie)
 	}
 }
@@ -176,7 +176,7 @@ func TestTableReplaceSameMatch(t *testing.T) {
 func TestTableMissReturnsNil(t *testing.T) {
 	tb := NewTable()
 	tb.Insert(&Entry{Priority: 1, Match: Match{Mask: MatchIPSrc, IPSrc: 99}}, 0)
-	if tb.Lookup(pkt(), 0, 0) != nil {
+	if e, _ := tb.Lookup(pkt(), 0, 0); e != nil {
 		t.Fatal("miss returned an entry")
 	}
 }
@@ -285,7 +285,7 @@ func TestLookupHighestPriorityProperty(t *testing.T) {
 			tb.Insert(&Entry{Priority: prio, Match: Match{Mask: MatchInPort, InPort: int(pt % 4)}, Cookie: uint64(i)}, 0)
 		}
 		p := pkt()
-		got := tb.Lookup(p, 2, 0)
+		got, _ := tb.Lookup(p, 2, 0)
 		best := -1
 		for _, e := range tb.Entries() {
 			if e.Match.Covers(p, 2) && e.Priority > best {

@@ -123,6 +123,84 @@ func (m Match) Equal(o Match) bool {
 	return eq
 }
 
+// normalized returns m with every unconstrained field zeroed, so that two
+// matches are Equal iff their normalized forms are ==. Normalized matches
+// are the classifier's hash-bucket keys.
+func (m Match) normalized() Match {
+	n := Match{Mask: m.Mask}
+	if m.Mask&MatchInPort != 0 {
+		n.InPort = m.InPort
+	}
+	if m.Mask&MatchEthSrc != 0 {
+		n.EthSrc = m.EthSrc
+	}
+	if m.Mask&MatchEthDst != 0 {
+		n.EthDst = m.EthDst
+	}
+	if m.Mask&MatchIPSrc != 0 {
+		n.IPSrc = m.IPSrc
+	}
+	if m.Mask&MatchIPDst != 0 {
+		n.IPDst = m.IPDst
+	}
+	if m.Mask&MatchProto != 0 {
+		n.Proto = m.Proto
+	}
+	if m.Mask&MatchTPSrc != 0 {
+		n.TPSrc = m.TPSrc
+	}
+	if m.Mask&MatchTPDst != 0 {
+		n.TPDst = m.TPDst
+	}
+	if m.Mask&MatchMPLS != 0 {
+		n.MPLS = m.MPLS
+	}
+	return n
+}
+
+// projectKey builds the normalized match a packet on inPort would need for a
+// subtable of shape mask — i.e. the bucket key whose entries all cover the
+// packet. ok is false when no match of that shape can cover the packet
+// (label constraints the packet cannot satisfy).
+func projectKey(mask FieldMask, p *packet.Packet, inPort int) (Match, bool) {
+	m := Match{Mask: mask}
+	if mask&MatchInPort != 0 {
+		m.InPort = inPort
+	}
+	if mask&MatchEthSrc != 0 {
+		m.EthSrc = p.SrcMAC
+	}
+	if mask&MatchEthDst != 0 {
+		m.EthDst = p.DstMAC
+	}
+	if mask&MatchIPSrc != 0 {
+		m.IPSrc = p.SrcIP
+	}
+	if mask&MatchIPDst != 0 {
+		m.IPDst = p.DstIP
+	}
+	if mask&MatchProto != 0 {
+		m.Proto = p.Proto
+	}
+	if mask&MatchTPSrc != 0 {
+		m.TPSrc = p.SrcPort
+	}
+	if mask&MatchTPDst != 0 {
+		m.TPDst = p.DstPort
+	}
+	top, has := p.TopMPLS()
+	if mask&MatchMPLS != 0 {
+		if !has {
+			return Match{}, false
+		}
+		m.MPLS = top
+	}
+	if mask&MatchNoMPLS != 0 && has {
+		return Match{}, false
+	}
+	return m, true
+}
+
 // String renders the constrained fields only.
 func (m Match) String() string {
 	var parts []string

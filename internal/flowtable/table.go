@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"mic/internal/addr"
 	"mic/internal/packet"
 	"mic/internal/sim"
 )
@@ -29,62 +30,259 @@ type Entry struct {
 	Bytes     uint64
 	Installed sim.Time
 	LastUsed  sim.Time
+
+	// seq is the entry's insertion sequence number: the tiebreak below equal
+	// priority, mirroring OpenFlow's "most recently the same" overlap rule.
+	// A replacing Insert inherits the replaced entry's seq, keeping its
+	// position.
+	seq uint64
 }
 
-// Table is a single-table OpenFlow pipeline plus a group table.
+// subtable is the classifier's per-match-shape hash index, one per distinct
+// FieldMask in use (OVS's tuple space search). All entries whose match
+// constrains the same field set live in one subtable, bucketed by their
+// normalized match; a packet probes each subtable with the corresponding
+// projection of its own headers.
+type subtable struct {
+	mask    FieldMask
+	buckets map[Match][]*Entry // normalized match -> entries, priority desc / seq asc
+}
+
+// microKey is the exact-match microflow cache key: the packet.FlowKey and
+// in-port the ISSUE's fast path is keyed on, widened with every other field a
+// Match may constrain so a cached result can never disagree with the
+// classifier regardless of which fields installed rules inspect.
+type microKey struct {
+	key    packet.FlowKey
+	inPort int
+	ethSrc addr.MAC
+	ethDst addr.MAC
+	proto  uint8
+	tpSrc  uint16
+	tpDst  uint16
+}
+
+// microEntry is a cached lookup result, valid only while gen matches the
+// table's current generation.
+type microEntry struct {
+	e   *Entry
+	gen uint64
+}
+
+// microCap bounds the microflow cache; when full it is reset wholesale
+// rather than evicted piecemeal (OVS similarly sizes its cache and relies on
+// cheap re-population from the classifier).
+const microCap = 8192
+
+// Table is a single-table OpenFlow pipeline plus a group table. Lookups are
+// served OVS-style: an exact-match microflow cache first, then a hash-indexed
+// classifier, with the linear priority scan retained only as the test oracle.
 type Table struct {
-	entries []*Entry // sorted by descending priority, then insertion order
+	entries []*Entry // sorted by descending priority, then ascending seq
 	groups  map[GroupID]*Group
 	seq     uint64
-	order   map[*Entry]uint64
+
+	subs     map[FieldMask]*subtable
+	subOrder []*subtable // creation order; deterministic iteration (no map range)
+
+	micro map[microKey]microEntry
+	gen   uint64 // bumped on any table modification; stale cache entries ignored
+
+	// CacheHits / CacheMisses count Lookup calls served by the microflow
+	// cache vs the full classifier — the fast/slow-path split the virtual
+	// CPU model charges differently.
+	CacheHits   uint64
+	CacheMisses uint64
 }
 
 // NewTable returns an empty table.
 func NewTable() *Table {
-	return &Table{groups: make(map[GroupID]*Group), order: make(map[*Entry]uint64)}
+	return &Table{
+		groups: make(map[GroupID]*Group),
+		subs:   make(map[FieldMask]*subtable),
+		micro:  make(map[microKey]microEntry),
+	}
 }
 
 // Len returns the number of installed entries.
 func (t *Table) Len() int { return len(t.entries) }
 
+// invalidate marks every microflow cache entry stale in O(1). Callers bump
+// the generation on any mutation that could change a lookup result.
+func (t *Table) invalidate() { t.gen++ }
+
+// entryLess is the match order: descending priority, then ascending seq.
+func entryLess(a, b *Entry) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.seq < b.seq
+}
+
+// subtableFor returns the subtable indexing matches of shape mask, creating
+// it on first use.
+func (t *Table) subtableFor(mask FieldMask) *subtable {
+	st := t.subs[mask]
+	if st == nil {
+		st = &subtable{mask: mask, buckets: make(map[Match][]*Entry)}
+		t.subs[mask] = st
+		t.subOrder = append(t.subOrder, st)
+	}
+	return st
+}
+
+// indexOf locates e in the sorted entries slice by binary search on
+// (priority, seq); ordering is total because seq is unique.
+func (t *Table) indexOf(e *Entry) int {
+	i := sort.Search(len(t.entries), func(i int) bool { return !entryLess(t.entries[i], e) })
+	if i < len(t.entries) && t.entries[i] == e {
+		return i
+	}
+	return -1
+}
+
 // Insert installs an entry at time now. Installing an entry whose match and
-// priority exactly equal an existing entry's replaces it (OpenFlow
-// semantics).
+// priority exactly equal an existing entry's replaces it in place (OpenFlow
+// semantics; the replacement inherits the old entry's position in the match
+// order). Insertion is O(log n + shift) into the already-sorted slice — no
+// re-sort per FlowMod.
 func (t *Table) Insert(e *Entry, now sim.Time) {
 	e.Installed = now
 	e.LastUsed = now
-	for i, old := range t.entries {
-		if old.Priority == e.Priority && old.Match.Equal(e.Match) {
-			delete(t.order, old)
-			t.seq++
-			t.order[e] = t.seq
-			t.entries[i] = e
+	t.invalidate()
+
+	norm := e.Match.normalized()
+	st := t.subtableFor(norm.Mask)
+	bucket := st.buckets[norm]
+	for i, old := range bucket {
+		if old.Priority == e.Priority {
+			// Replace: same match, same priority. Within a bucket matches
+			// are Equal by construction, so priorities are unique.
+			e.seq = old.seq
+			bucket[i] = e
+			if j := t.indexOf(old); j >= 0 {
+				t.entries[j] = e
+			}
 			return
 		}
 	}
+
 	t.seq++
-	t.order[e] = t.seq
-	t.entries = append(t.entries, e)
-	sort.SliceStable(t.entries, func(i, j int) bool {
-		if t.entries[i].Priority != t.entries[j].Priority {
-			return t.entries[i].Priority > t.entries[j].Priority
-		}
-		return t.order[t.entries[i]] < t.order[t.entries[j]]
-	})
+	e.seq = t.seq
+
+	// Bucket insertion point: priorities within a bucket are unique, so
+	// order by priority alone.
+	bi := sort.Search(len(bucket), func(i int) bool { return bucket[i].Priority < e.Priority })
+	bucket = append(bucket, nil)
+	copy(bucket[bi+1:], bucket[bi:])
+	bucket[bi] = e
+	st.buckets[norm] = bucket
+
+	// Entries insertion point: e has the largest seq, so it goes after every
+	// entry of >= priority.
+	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Priority < e.Priority })
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+}
+
+// microKeyOf projects the packet onto the microflow cache key.
+func microKeyOf(p *packet.Packet, inPort int) microKey {
+	return microKey{
+		key:    p.Key(),
+		inPort: inPort,
+		ethSrc: p.SrcMAC,
+		ethDst: p.DstMAC,
+		proto:  p.Proto,
+		tpSrc:  p.SrcPort,
+		tpDst:  p.DstPort,
+	}
 }
 
 // Lookup returns the highest-priority entry covering the packet, updating
-// its counters, or nil on a table miss.
-func (t *Table) Lookup(p *packet.Packet, inPort int, now sim.Time) *Entry {
+// its counters, or nil on a table miss. hit reports whether the microflow
+// cache served the result (the switch charges fast-path vs slow-path CPU on
+// this). Misses are never cached, mirroring OVS, where a table miss is an
+// upcall rather than a datapath flow.
+func (t *Table) Lookup(p *packet.Packet, inPort int, now sim.Time) (e *Entry, hit bool) {
+	k := microKeyOf(p, inPort)
+	if me, ok := t.micro[k]; ok && me.gen == t.gen {
+		t.CacheHits++
+		me.e.Packets++
+		me.e.Bytes += uint64(p.WireLen())
+		me.e.LastUsed = now
+		return me.e, true
+	}
+	t.CacheMisses++
+	best := t.lookupClassifier(p, inPort)
+	if best == nil {
+		return nil, false
+	}
+	best.Packets++
+	best.Bytes += uint64(p.WireLen())
+	best.LastUsed = now
+	if len(t.micro) >= microCap {
+		clear(t.micro)
+	}
+	t.micro[k] = microEntry{e: best, gen: t.gen}
+	return best, false
+}
+
+// lookupClassifier probes every subtable with the packet's projection and
+// returns the best entry in match order, without touching counters or the
+// cache.
+func (t *Table) lookupClassifier(p *packet.Packet, inPort int) *Entry {
+	var best *Entry
+	for _, st := range t.subOrder {
+		key, ok := projectKey(st.mask, p, inPort)
+		if !ok {
+			continue
+		}
+		bucket := st.buckets[key]
+		if len(bucket) == 0 {
+			continue
+		}
+		// bucket[0] is the subtable's best candidate; every entry in the
+		// bucket covers the packet because the projection matched exactly.
+		if e := bucket[0]; best == nil || entryLess(e, best) {
+			best = e
+		}
+	}
+	return best
+}
+
+// lookupLinear is the pre-cache linear priority scan, kept as the oracle for
+// the cached-vs-linear differential test. It does not update counters.
+func (t *Table) lookupLinear(p *packet.Packet, inPort int) *Entry {
 	for _, e := range t.entries {
 		if e.Match.Covers(p, inPort) {
-			e.Packets++
-			e.Bytes += uint64(p.WireLen())
-			e.LastUsed = now
 			return e
 		}
 	}
 	return nil
+}
+
+// removeFromIndex detaches e from its subtable bucket.
+func (t *Table) removeFromIndex(e *Entry) {
+	norm := e.Match.normalized()
+	st := t.subs[norm.Mask]
+	if st == nil {
+		return
+	}
+	b := st.buckets[norm]
+	for i, x := range b {
+		if x == e {
+			copy(b[i:], b[i+1:])
+			b[len(b)-1] = nil
+			b = b[:len(b)-1]
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(st.buckets, norm)
+	} else {
+		st.buckets[norm] = b
+	}
 }
 
 // DeleteByCookie removes all entries with the given cookie and returns how
@@ -95,7 +293,7 @@ func (t *Table) DeleteByCookie(cookie uint64) int {
 	for _, e := range t.entries {
 		if e.Cookie == cookie {
 			removed++
-			delete(t.order, e)
+			t.removeFromIndex(e)
 		} else {
 			kept = append(kept, e)
 		}
@@ -104,6 +302,9 @@ func (t *Table) DeleteByCookie(cookie uint64) int {
 		t.entries[i] = nil
 	}
 	t.entries = kept
+	if removed > 0 {
+		t.invalidate()
+	}
 	return removed
 }
 
@@ -117,7 +318,7 @@ func (t *Table) Expire(now sim.Time) []*Entry {
 		hard := e.HardTimeout > 0 && now.Sub(e.Installed) >= e.HardTimeout
 		if idle || hard {
 			evicted = append(evicted, e)
-			delete(t.order, e)
+			t.removeFromIndex(e)
 		} else {
 			kept = append(kept, e)
 		}
@@ -126,15 +327,23 @@ func (t *Table) Expire(now sim.Time) []*Entry {
 		t.entries[i] = nil
 	}
 	t.entries = kept
+	if len(evicted) > 0 {
+		t.invalidate()
+	}
 	return evicted
 }
 
 // Conflicts returns entries whose match equals m at the same priority —
 // the ambiguity MIC's Collision Avoidance Mechanism must rule out.
 func (t *Table) Conflicts(m Match, priority int) []*Entry {
+	norm := m.normalized()
+	st := t.subs[norm.Mask]
+	if st == nil {
+		return nil
+	}
 	var out []*Entry
-	for _, e := range t.entries {
-		if e.Priority == priority && e.Match.Equal(m) {
+	for _, e := range st.buckets[norm] {
+		if e.Priority == priority {
 			out = append(out, e)
 		}
 	}
@@ -145,8 +354,13 @@ func (t *Table) Conflicts(m Match, priority int) []*Entry {
 // priority). The returned slice is shared; callers must not modify it.
 func (t *Table) Entries() []*Entry { return t.entries }
 
-// SetGroup installs or replaces a group.
-func (t *Table) SetGroup(g *Group) { t.groups[g.ID] = g }
+// SetGroup installs or replaces a group. The microflow cache is flushed:
+// cached entries may reference the group through their actions, and a
+// group edit must take effect on the next packet.
+func (t *Table) SetGroup(g *Group) {
+	t.invalidate()
+	t.groups[g.ID] = g
+}
 
 // Group looks up a group by ID.
 func (t *Table) Group(id GroupID) (*Group, bool) {
@@ -154,8 +368,11 @@ func (t *Table) Group(id GroupID) (*Group, bool) {
 	return g, ok
 }
 
-// DeleteGroup removes a group.
-func (t *Table) DeleteGroup(id GroupID) { delete(t.groups, id) }
+// DeleteGroup removes a group, flushing the microflow cache like SetGroup.
+func (t *Table) DeleteGroup(id GroupID) {
+	t.invalidate()
+	delete(t.groups, id)
+}
 
 // Dump renders the table — flow entries in match order, then the group
 // table in ascending group ID so the dump is byte-stable across runs.

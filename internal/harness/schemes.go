@@ -11,6 +11,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"mic/internal/addr"
@@ -340,11 +341,28 @@ func MultiFlowAvgThroughputCfg(scheme Scheme, nFlows, size int, seed uint64, mic
 	return sum / float64(nFlows), nil
 }
 
+var (
+	payloadMu  sync.Mutex
+	payloadPat []byte
+)
+
+// payload returns n bytes of deterministic content. The byte at index i
+// depends only on i, so one shared template serves every size: it is grown
+// on demand under a lock (trials run on separate goroutines) and copied
+// out, so callers can hand the result to Send without aliasing the cache.
 func payload(n int) []byte {
-	b := make([]byte, n)
-	for i := range b {
-		b[i] = byte(i*31 + i>>11)
+	payloadMu.Lock()
+	if len(payloadPat) < n {
+		grown := make([]byte, n)
+		for i := copy(grown, payloadPat); i < n; i++ {
+			grown[i] = byte(i*31 + i>>11)
+		}
+		payloadPat = grown
 	}
+	pat := payloadPat
+	payloadMu.Unlock()
+	b := make([]byte, n)
+	copy(b, pat)
 	return b
 }
 

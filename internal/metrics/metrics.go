@@ -207,6 +207,12 @@ func formatFloat(v float64) string {
 	}
 }
 
+// Header returns the column headers.
+func (t *Table) Header() []string { return t.header }
+
+// Rows returns the formatted cell values, one slice per row.
+func (t *Table) Rows() [][]string { return t.rows }
+
 // CSV renders the table as comma-separated values with a header row.
 // Cells containing commas or quotes are quoted per RFC 4180.
 func (t *Table) CSV() string {

@@ -153,7 +153,7 @@ type healthMonitor struct {
 	cfg HealthConfig
 
 	flows       []flowHealth
-	outstanding map[uint32]*outSlice
+	outstanding map[uint32]outSlice
 	sent        []int64  // slices (first-tx + retx) transmitted per conn
 	sendQ       [][]byte // sliced frames waiting for window room
 
@@ -172,7 +172,7 @@ func newHealthMonitor(s *Stream, cfg HealthConfig) *healthMonitor {
 		s:           s,
 		cfg:         cfg.withDefaults(),
 		flows:       make([]flowHealth, len(s.conns)),
-		outstanding: make(map[uint32]*outSlice),
+		outstanding: make(map[uint32]outSlice),
 		sent:        make([]int64, len(s.conns)),
 	}
 	now := s.eng.Now()
@@ -274,7 +274,7 @@ func (m *healthMonitor) pump() {
 		m.sendQ = m.sendQ[1:]
 		seq := binary.BigEndian.Uint32(frame[0:4])
 		m.s.SlicesOut[flow]++
-		m.outstanding[seq] = &outSlice{frame: frame, flow: flow, sentAt: m.s.eng.Now()}
+		m.outstanding[seq] = outSlice{frame: frame, flow: flow, sentAt: m.s.eng.Now()}
 		m.sent[flow]++
 		m.s.conns[flow].Send(frame)
 	}
@@ -336,8 +336,10 @@ func (m *healthMonitor) onHeard(i int) {
 func (m *healthMonitor) onAck(i int, cumAck uint32, connRecv int64) {
 	m.onHeard(i)
 	m.flows[i].acked = connRecv
-	for seq := range m.outstanding {
+	// lint:ignore detrange retire order is irrelevant: buffers recycled into the freelist are interchangeable and fully overwritten before reuse, and deletion is order-independent
+	for seq, o := range m.outstanding {
 		if seqLT32(seq, cumAck) {
+			m.s.recycleFrame(o.frame)
 			delete(m.outstanding, seq)
 		}
 	}
@@ -511,6 +513,7 @@ func (m *healthMonitor) retransmitOverdue(now sim.Time) {
 		o.flow = to
 		o.sentAt = now
 		o.retx++
+		m.outstanding[seq] = o
 		m.s.SlicesRetx++
 		m.s.conns[to].Send(o.frame)
 	}

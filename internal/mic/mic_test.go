@@ -29,7 +29,10 @@ func newFixture(t testing.TB, cfg Config) *fixture {
 		t.Fatal(err)
 	}
 	eng := sim.New()
-	net := netsim.New(eng, g, netsim.Config{})
+	// PoolDebug arms the packet pool's use-after-release guard for every
+	// MIC fixture test — MN rewrites, group multicast and heal paths all
+	// run with poisoned free-list detection.
+	net := netsim.New(eng, g, netsim.Config{PoolDebug: true})
 	mc, err := NewMC(net, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mic/internal/addr"
+	"mic/internal/bytequeue"
 	"mic/internal/sim"
 	"mic/internal/transport"
 )
@@ -70,6 +71,11 @@ type Stream struct {
 	// bytes so all data packets on the wire share one size — a defense
 	// against packet-size fingerprinting (an extension beyond the paper).
 	uniform int
+	// frameFree recycles slice frame buffers. A frame becomes reusable
+	// once no Send can re-transmit it: immediately after the conn copies
+	// it (health disabled), or when its cumulative ack retires it from
+	// the outstanding set (health enabled).
+	frameFree [][]byte
 
 	// Incoming.
 	parse      []connParser
@@ -103,7 +109,30 @@ type Stream struct {
 }
 
 type connParser struct {
-	buf []byte
+	buf bytequeue.Queue
+}
+
+// newFrame returns an n-byte frame buffer, reusing a recycled one when its
+// capacity suffices. Callers overwrite header and payload and must clear
+// any padding themselves.
+func (s *Stream) newFrame(n int) []byte {
+	if k := len(s.frameFree); k > 0 {
+		b := s.frameFree[k-1]
+		s.frameFree = s.frameFree[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// recycleFrame returns a frame to the freelist. Only frames that no code
+// path can still read or re-send may be recycled; every conn's Send copies
+// synchronously, so a frame is safe once it has left the outstanding set.
+func (s *Stream) recycleFrame(b []byte) {
+	if cap(b) > 0 && len(s.frameFree) < 64 {
+		s.frameFree = append(s.frameFree, b)
+	}
 }
 
 // newStream wires s onto its connections; conns must all be established.
@@ -198,11 +227,14 @@ func (s *Stream) Send(data []byte) {
 			}
 			padded = n
 		}
-		body := make([]byte, sliceHeaderLen+padded)
+		body := s.newFrame(sliceHeaderLen + padded)
 		binary.BigEndian.PutUint32(body[0:4], s.seqOut)
 		binary.BigEndian.PutUint16(body[4:6], uint16(n))
 		binary.BigEndian.PutUint16(body[6:8], uint16(padded))
 		copy(body[sliceHeaderLen:], data[:n])
+		// Recycled frames carry stale bytes; the padding must not leak them
+		// onto the wire.
+		clear(body[sliceHeaderLen+n:])
 		s.seqOut++
 		if s.health != nil {
 			// Windowed path: the monitor releases slices as acks open
@@ -212,6 +244,7 @@ func (s *Stream) Send(data []byte) {
 			flow := s.rng.Intn(len(s.conns))
 			s.SlicesOut[flow]++
 			s.conns[flow].Send(body)
+			s.recycleFrame(body)
 		}
 		data = data[n:]
 	}
@@ -285,32 +318,33 @@ func (s *Stream) Close() {
 // feed accepts raw bytes from connection i and extracts complete frames.
 func (s *Stream) feed(i int, b []byte) {
 	p := &s.parse[i]
-	p.buf = append(p.buf, b...)
+	p.buf.Append(b)
 	gotSlices := false
 	for {
-		if len(p.buf) < sliceHeaderLen {
+		if p.buf.Len() < sliceHeaderLen {
 			break
 		}
-		rawLen := binary.BigEndian.Uint16(p.buf[4:6])
+		buf := p.buf.Bytes()
+		rawLen := binary.BigEndian.Uint16(buf[4:6])
 		if rawLen&ctlFlag != 0 {
 			blen := int(rawLen &^ ctlFlag)
-			if len(p.buf) < sliceHeaderLen+blen {
+			if p.buf.Len() < sliceHeaderLen+blen {
 				break
 			}
-			s.handleCtl(i, p.buf[sliceHeaderLen:sliceHeaderLen+blen])
-			p.buf = p.buf[sliceHeaderLen+blen:]
+			s.handleCtl(i, buf[sliceHeaderLen:sliceHeaderLen+blen])
+			p.buf.PopFront(sliceHeaderLen + blen)
 			continue
 		}
 		n := int(rawLen)
-		padded := int(binary.BigEndian.Uint16(p.buf[6:8]))
+		padded := int(binary.BigEndian.Uint16(buf[6:8]))
 		if padded < n {
 			padded = n // tolerate unpadded frames
 		}
-		if len(p.buf) < sliceHeaderLen+padded {
+		if p.buf.Len() < sliceHeaderLen+padded {
 			break
 		}
-		seq := binary.BigEndian.Uint32(p.buf[0:4])
-		payload := p.buf[sliceHeaderLen : sliceHeaderLen+n]
+		seq := binary.BigEndian.Uint32(buf[0:4])
+		payload := buf[sliceHeaderLen : sliceHeaderLen+n]
 		gotSlices = true
 		if i < len(s.slicesIn) {
 			s.slicesIn[i]++
@@ -322,7 +356,7 @@ func (s *Stream) feed(i int, b []byte) {
 		} else {
 			s.reasm[seq] = append([]byte(nil), payload...)
 		}
-		p.buf = p.buf[sliceHeaderLen+padded:]
+		p.buf.PopFront(sliceHeaderLen + padded)
 		s.drain()
 	}
 	if gotSlices && !s.closed && s.failed == nil && i < len(s.conns) {

@@ -42,16 +42,21 @@ func (h *Host) Send(port int, p *packet.Packet) {
 }
 
 // recv delivers an arriving frame to the registered handler after the
-// host-stack latency.
+// host-stack latency. The host is the packet's sink: the handler may read
+// the frame only for the duration of the call (copying what it keeps, which
+// the transport stack does), and the packet returns to the pool when the
+// handler returns.
 func (h *Host) recv(inPort int, p *packet.Packet) {
 	h.RxPackets++
 	h.net.CPU.Charge("stack", h.net.Cfg.CostHostPacket)
 	if h.handler == nil {
 		h.net.Stats.Dropped++
+		p.Release()
 		return
 	}
 	h.net.Eng.After(h.net.Cfg.HostLatency, func() {
 		h.net.Stats.Delivered++
 		h.handler(inPort, p)
+		p.Release()
 	})
 }

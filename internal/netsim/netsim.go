@@ -34,10 +34,20 @@ type Config struct {
 	SwitchLatency    time.Duration // software-switch forwarding latency
 	HostLatency      time.Duration // host protocol-stack latency per packet
 
-	// Virtual CPU costs (Fig 9c substitutes).
-	CostSwitchPacket time.Duration // per packet forwarded by a vswitch
-	CostSwitchAction time.Duration // per packet-mutating flow action
-	CostHostPacket   time.Duration // per packet through a host stack
+	// Virtual CPU costs (Fig 9c substitutes). CostSwitchPacket is the
+	// slow path — a full classifier lookup, OVS's userspace upcall;
+	// CostSwitchCacheHit is the microflow-cache fast path. Charging them
+	// separately mirrors the fast/slow-path split of the paper's OVS
+	// testbed (see DESIGN.md §5b).
+	CostSwitchPacket   time.Duration // per packet taking a full (slow-path) lookup
+	CostSwitchCacheHit time.Duration // per packet served by the microflow cache
+	CostSwitchAction   time.Duration // per packet-mutating flow action
+	CostHostPacket     time.Duration // per packet through a host stack
+
+	// PoolDebug enables the packet pool's use-after-release guard
+	// (poisoned free-list buffers, double-release panics). Tests set it;
+	// it is off by default because the checks are O(payload) per packet.
+	PoolDebug bool
 
 	// LossRate injects uniform random frame loss on every link (0 = none).
 	// It is a back-compat alias: New installs Uniform(LossRate) as the fault
@@ -54,14 +64,15 @@ type Config struct {
 // DefaultConfig mirrors a 1 Gb/s Mininet fabric with Open vSwitch.
 func DefaultConfig() Config {
 	return Config{
-		LinkBandwidthBps: 1e9,
-		LinkDelay:        5 * time.Microsecond,
-		QueueCapPackets:  100,
-		SwitchLatency:    10 * time.Microsecond,
-		HostLatency:      15 * time.Microsecond,
-		CostSwitchPacket: 2 * time.Microsecond,
-		CostSwitchAction: 300 * time.Nanosecond,
-		CostHostPacket:   3 * time.Microsecond,
+		LinkBandwidthBps:   1e9,
+		LinkDelay:          5 * time.Microsecond,
+		QueueCapPackets:    100,
+		SwitchLatency:      10 * time.Microsecond,
+		HostLatency:        15 * time.Microsecond,
+		CostSwitchPacket:   2 * time.Microsecond,
+		CostSwitchCacheHit: 500 * time.Nanosecond,
+		CostSwitchAction:   300 * time.Nanosecond,
+		CostHostPacket:     3 * time.Microsecond,
 	}
 }
 
@@ -85,6 +96,9 @@ func (c Config) withDefaults() Config {
 	if c.CostSwitchPacket == 0 {
 		c.CostSwitchPacket = d.CostSwitchPacket
 	}
+	if c.CostSwitchCacheHit == 0 {
+		c.CostSwitchCacheHit = d.CostSwitchCacheHit
+	}
 	if c.CostSwitchAction == 0 {
 		c.CostSwitchAction = d.CostSwitchAction
 	}
@@ -96,6 +110,11 @@ func (c Config) withDefaults() Config {
 
 // Controller receives table-miss packets from switches. The Mimic
 // Controller and any learning/routing controller implement it.
+//
+// Ownership: the packet is fabric-owned and valid only for the duration of
+// the PacketIn call — the switch releases it to the packet pool when the
+// call returns. Controllers that need the packet (or its payload) afterwards
+// must Clone it or copy the bytes out.
 type Controller interface {
 	PacketIn(sw *Switch, inPort int, p *packet.Packet)
 }
@@ -207,6 +226,10 @@ type linkDir struct {
 	// on one link never depend on traffic crossing another.
 	fault    *FaultProfile
 	faultRNG *sim.RNG
+
+	// dec is the shared "serialization finished" callback, built once so
+	// the per-frame schedule does not allocate a fresh closure.
+	dec func()
 }
 
 func (d *linkDir) down() bool { return d.linkDown || d.swDown > 0 }
@@ -225,6 +248,10 @@ type Network struct {
 	taps      map[topo.NodeID][]Tap
 	listeners []Listener
 	faultSeed uint64
+
+	// pool recycles data-plane packets. Per network (not global) because
+	// the harness runs independent engines on parallel goroutines.
+	pool *packet.Pool
 }
 
 type portKey struct {
@@ -243,6 +270,10 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
 		hosts:    make(map[topo.NodeID]*Host),
 		dirs:     make(map[portKey]*linkDir),
 		taps:     make(map[topo.NodeID][]Tap),
+		pool:     packet.NewPool(),
+	}
+	if cfg.PoolDebug {
+		n.pool.SetDebug(true)
 	}
 	n.faultSeed = n.Cfg.FaultSeed
 	if n.faultSeed == 0 {
@@ -274,6 +305,11 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
 func (n *Network) faultStream(pk portKey) *sim.RNG {
 	return sim.NewRNG(n.faultSeed ^ 0x10559).Stream(fmt.Sprintf("fault-%d-%d", pk.node, pk.port))
 }
+
+// PacketPool returns the network's packet pool. Transport stacks draw their
+// data packets from it; the fabric releases packets back at their sinks
+// (delivery, drop, or table miss).
+func (n *Network) PacketPool() *packet.Pool { return n.pool }
 
 // Switch returns the switch runtime for a node ID.
 func (n *Network) Switch(id topo.NodeID) *Switch { return n.switches[id] }
@@ -445,15 +481,18 @@ func (n *Network) send(from topo.NodeID, port int, p *packet.Packet) {
 	if fate == fateLost {
 		n.Stats.Dropped++
 		n.Stats.LostFault++
+		p.Release()
 		return
 	}
 	if dir.down() {
 		n.Stats.LostDown++
+		p.Release()
 		return
 	}
 	if dir.queued >= n.Cfg.QueueCapPackets {
 		dir.drops++
 		n.Stats.Dropped++
+		p.Release()
 		return
 	}
 	peer := node.Ports[port]
@@ -468,12 +507,18 @@ func (n *Network) send(from topo.NodeID, port int, p *packet.Packet) {
 	dir.queued++
 	dir.txBytes += uint64(wire)
 	n.Stats.TxBytes += uint64(wire)
-	n.Eng.At(done, func() { dir.queued-- })
+	if dir.dec == nil {
+		dir.dec = func() { dir.queued-- }
+	}
+	n.Eng.At(done, dir.dec)
 	arrive := done.Add(n.Cfg.LinkDelay)
 	switch fate {
 	case fateCorrupt:
 		// The frame burns wire time but the receiving NIC's FCS rejects it.
-		n.Eng.At(arrive, func() { n.Stats.Corrupted++ })
+		n.Eng.At(arrive, func() {
+			n.Stats.Corrupted++
+			p.Release()
+		})
 	case fateDup:
 		dup := p.Clone()
 		n.Eng.At(arrive, func() { n.recv(peer.Peer, peer.PeerPort, p) })

@@ -27,51 +27,75 @@ type Switch struct {
 	RxPackets uint64
 	TxPackets uint64
 	Misses    uint64
+	CacheHits uint64 // lookups served by the microflow cache (fast path)
 }
 
-// recv runs the pipeline for one arriving packet.
+// recv runs the pipeline for one arriving packet. Lookups served by the
+// microflow cache charge the fast-path CPU cost; full classifier lookups
+// (and table misses, which are controller upcalls) charge the slow path —
+// the same split the paper's OVS testbed exhibits.
 func (s *Switch) recv(inPort int, p *packet.Packet) {
 	if s.Down {
 		s.net.Stats.LostDown++
+		p.Release()
 		return
 	}
 	s.RxPackets++
-	s.net.CPU.Charge("vswitch", s.net.Cfg.CostSwitchPacket)
-	entry := s.Table.Lookup(p, inPort, s.net.Eng.Now())
+	entry, hit := s.Table.Lookup(p, inPort, s.net.Eng.Now())
+	if hit {
+		s.CacheHits++
+		s.net.CPU.Charge("vswitch", s.net.Cfg.CostSwitchCacheHit)
+	} else {
+		s.net.CPU.Charge("vswitch", s.net.Cfg.CostSwitchPacket)
+	}
 	if entry == nil {
 		s.Misses++
 		if s.Ctrl != nil {
 			s.Ctrl.PacketIn(s, inPort, p)
+			p.Release() // controllers copy what they keep (Controller doc)
 			return
 		}
 		s.net.Stats.TableMiss++
+		p.Release()
 		return
 	}
 	s.Execute(entry.Actions, inPort, p)
 }
 
 // Execute applies an action list to p after the configured forwarding
-// latency. OpenFlow semantics: set-field actions mutate the packet in
-// order; each Output forwards the packet as rewritten so far; OutputGroup
-// clones the packet per bucket (type ALL) — the primitive behind MIC's
-// partial multicast.
+// latency, taking ownership of p. OpenFlow semantics: set-field actions
+// mutate the packet in order; each Output forwards the packet as rewritten
+// so far; OutputGroup clones the packet per bucket (type ALL) — the
+// primitive behind MIC's partial multicast.
 func (s *Switch) Execute(actions []flowtable.Action, inPort int, p *packet.Packet) {
 	s.net.Eng.After(s.net.Cfg.SwitchLatency, func() {
 		s.run(actions, inPort, p)
 	})
 }
 
-// run applies actions immediately (forwarding latency already paid).
+// run applies actions immediately (forwarding latency already paid) and
+// consumes p: the common unicast shape — rewrites followed by a final
+// Output — hands the packet itself to the fabric with no copy. Clones are
+// made only at genuine fan-out or when actions follow an Output (the
+// forwarded packet must see the rewrites made so far, not later ones). A
+// packet never handed off is released back to the pool.
 func (s *Switch) run(actions []flowtable.Action, inPort int, p *packet.Packet) {
 	if mut := flowtable.MutationCount(actions); mut > 0 {
 		s.net.CPU.Charge("vswitch", time.Duration(mut)*s.net.Cfg.CostSwitchAction)
 	}
-	for _, a := range actions {
+	handedOff := false
+	for i, a := range actions {
 		switch act := a.(type) {
 		case flowtable.Output:
 			s.TxPackets++
 			s.net.Stats.Forwarded++
-			s.net.send(s.ID, int(act), p.Clone())
+			out := p
+			if i != len(actions)-1 {
+				out = p.Clone()
+			} else {
+				handedOff = true
+			}
+			s.net.send(s.ID, int(act), out)
 		case flowtable.OutputGroup:
 			g, ok := s.Table.Group(flowtable.GroupID(act))
 			if !ok {
@@ -83,6 +107,9 @@ func (s *Switch) run(actions []flowtable.Action, inPort int, p *packet.Packet) {
 		default:
 			a.Apply(p)
 		}
+	}
+	if !handedOff {
+		p.Release()
 	}
 }
 

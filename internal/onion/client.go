@@ -36,6 +36,7 @@ type Circuit struct {
 	link   *transport.Conn
 	circID uint32
 	parser cellParser
+	wire   [CellSize]byte // reusable marshal buffer; link.Send copies synchronously
 
 	onData  func([]byte)
 	onClose func()
@@ -84,7 +85,7 @@ func (c *Client) DialRoute(route []*Relay, dst addr.IP, port uint16, cb func(*Ci
 		create := cell{circID: circ.circID, cmd: cmdCreate}
 		copy(create.blob[:32], priv.PublicKey().Bytes())
 		c.charge(c.cfg.HandshakeCost)
-		conn.Send(create.marshal())
+		conn.Send(create.marshalInto(&circ.wire))
 	})
 }
 
@@ -171,7 +172,7 @@ func (circ *Circuit) sendRelay(cmd uint8, data []byte, n int) {
 		circ.client.charge(circ.client.cfg.ClientCellCost)
 	}
 	out := cell{circID: circ.circID, cmd: cmdRelay, blob: blob}
-	circ.link.Send(out.marshal())
+	circ.link.Send(out.marshalInto(&circ.wire))
 }
 
 // Send chops data into DATA cells, onion-wraps each, and ships them.

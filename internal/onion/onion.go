@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mic/internal/addr"
+	"mic/internal/bytequeue"
 )
 
 // Config models the relay cost structure. Constants approximate a
@@ -109,11 +110,19 @@ type cell struct {
 }
 
 func (c *cell) marshal() []byte {
-	out := make([]byte, CellSize)
+	var out [CellSize]byte
+	return c.marshalInto(&out)
+}
+
+// marshalInto serializes the cell into a caller-owned wire buffer and
+// returns it as a slice. Senders that transmit over a ByteStream — whose
+// Send contract is to copy synchronously — reuse one buffer per endpoint,
+// keeping the per-cell hot path allocation-free.
+func (c *cell) marshalInto(out *[CellSize]byte) []byte {
 	binary.BigEndian.PutUint32(out[0:4], c.circID)
 	out[4] = c.cmd
 	copy(out[cellHeaderLen:], c.blob[:])
-	return out
+	return out[:]
 }
 
 func parseCell(b []byte) cell {
@@ -126,14 +135,14 @@ func parseCell(b []byte) cell {
 
 // cellParser reassembles fixed-size cells from a byte stream.
 type cellParser struct {
-	buf []byte
+	buf bytequeue.Queue
 }
 
 func (p *cellParser) feed(b []byte, emit func(cell)) {
-	p.buf = append(p.buf, b...)
-	for len(p.buf) >= CellSize {
-		emit(parseCell(p.buf[:CellSize]))
-		p.buf = p.buf[CellSize:]
+	p.buf.Append(b)
+	for p.buf.Len() >= CellSize {
+		emit(parseCell(p.buf.Bytes()[:CellSize]))
+		p.buf.PopFront(CellSize)
 	}
 }
 

@@ -26,6 +26,10 @@ type Relay struct {
 	// busyUntil serializes the relay's CPU.
 	busyUntil sim.Time
 
+	// wire is the reusable marshal buffer; every ByteStream Send copies
+	// synchronously, and relay work is serialized on the engine.
+	wire [CellSize]byte
+
 	// Counters.
 	CellsForwarded uint64
 	CircuitsServed uint64
@@ -103,7 +107,7 @@ func (r *Relay) handleCreate(from transport.ByteStream, c cell) {
 	r.CircuitsServed++
 	reply := cell{circID: c.circID, cmd: cmdCreated}
 	copy(reply.blob[:32], priv.PublicKey().Bytes())
-	from.Send(reply.marshal())
+	from.Send(reply.marshalInto(&r.wire))
 }
 
 func (r *Relay) handleRelay(from transport.ByteStream, c cell) {
@@ -128,7 +132,7 @@ func (r *Relay) forwardCell(rc *relayCirc, c cell) {
 		if rc.next != nil {
 			r.CellsForwarded++
 			out := cell{circID: rc.nextID, cmd: cmdRelay, blob: c.blob}
-			rc.next.Send(out.marshal())
+			rc.next.Send(out.marshalInto(&r.wire))
 		}
 		return
 	}
@@ -158,7 +162,7 @@ func (r *Relay) backwardCell(rc *relayCirc, c cell) {
 	rc.keys.bwd.XORKeyStream(c.blob[:], c.blob[:])
 	r.CellsForwarded++
 	out := cell{circID: rc.prevID, cmd: cmdRelay, blob: c.blob}
-	rc.prev.Send(out.marshal())
+	rc.prev.Send(out.marshalInto(&r.wire))
 }
 
 // sendBack wraps a locally-originated reply in our layer and sends it
@@ -166,7 +170,7 @@ func (r *Relay) backwardCell(rc *relayCirc, c cell) {
 func (r *Relay) sendBack(rc *relayCirc, blob [blobLen]byte) {
 	rc.keys.bwd.XORKeyStream(blob[:], blob[:])
 	out := cell{circID: rc.prevID, cmd: cmdRelay, blob: blob}
-	rc.prev.Send(out.marshal())
+	rc.prev.Send(out.marshalInto(&r.wire))
 }
 
 // extend opens a link to the next relay and splices the circuit.
@@ -204,7 +208,7 @@ func (r *Relay) extend(rc *relayCirc, data []byte) {
 		})
 		create := cell{circID: nextID, cmd: cmdCreate}
 		copy(create.blob[:32], clientPub)
-		conn.Send(create.marshal())
+		conn.Send(create.marshalInto(&r.wire))
 	})
 }
 

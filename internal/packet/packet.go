@@ -41,11 +41,18 @@ const (
 // Packet is one frame. Fields are exported for direct manipulation by the
 // data plane; use Clone before mutating a packet that another component may
 // still observe (e.g. multicast replication).
+//
+// The fields a FlowKey derives from (SrcIP, DstIP and the MPLS stack) must
+// be mutated through SetSrcIP/SetDstIP and the MPLS methods once the packet
+// is in flight, so the cached key stays coherent; everything else may be
+// written directly.
 type Packet struct {
 	// Ethernet
 	SrcMAC, DstMAC addr.MAC
 
 	// MPLS label stack, outermost first. Empty means no MPLS headers.
+	// Mutate via PushMPLS/PopMPLS/SetTopMPLS, which keep the cached FlowKey
+	// coherent and reuse the stack's backing storage.
 	MPLS []addr.Label
 
 	// IPv4
@@ -60,6 +67,19 @@ type Packet struct {
 	Window           uint16
 
 	Payload []byte
+
+	// key caches the FlowKey so repeated per-hop lookups don't recompute it;
+	// keyOK marks it valid. Mutating SrcIP/DstIP/MPLS through the setter
+	// methods invalidates the cache.
+	key   FlowKey
+	keyOK bool
+
+	// buf is the pool-owned payload backing store; SetPayload copies into it
+	// so the payload's lifetime is tied to the packet, not to the caller's
+	// buffer. pool/released implement the free list (pool.go).
+	buf      []byte
+	pool     *Pool
+	released bool
 }
 
 // IP protocol numbers.
@@ -75,10 +95,19 @@ func (p *Packet) WireLen() int {
 
 // Clone returns a deep copy of p. The payload bytes are copied too, so the
 // clone can be rewritten independently (needed for partial multicast).
+// Clones are never pool-owned, regardless of p's provenance.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.pool = nil
+	q.released = false
+	q.buf = nil
 	if len(p.MPLS) > 0 {
 		q.MPLS = append([]addr.Label(nil), p.MPLS...)
+	} else {
+		// Drop the copied slice header: an empty stack can still have
+		// capacity, and a later PushMPLS on either packet would write
+		// into the shared backing array.
+		q.MPLS = nil
 	}
 	if len(p.Payload) > 0 {
 		q.Payload = append([]byte(nil), p.Payload...)
@@ -86,18 +115,75 @@ func (p *Packet) Clone() *Packet {
 	return &q
 }
 
-// PushMPLS prepends a label to the stack.
-func (p *Packet) PushMPLS(l addr.Label) { p.MPLS = append([]addr.Label{l}, p.MPLS...) }
+// SetSrcIP rewrites the source address, invalidating the cached FlowKey.
+func (p *Packet) SetSrcIP(ip addr.IP) {
+	p.SrcIP = ip
+	p.keyOK = false
+}
+
+// SetDstIP rewrites the destination address, invalidating the cached
+// FlowKey.
+func (p *Packet) SetDstIP(ip addr.IP) {
+	p.DstIP = ip
+	p.keyOK = false
+}
+
+// SetPayload copies b into the packet's own backing buffer (pool-owned for
+// pooled packets), so the caller's slice is not aliased and may be reused
+// immediately.
+func (p *Packet) SetPayload(b []byte) {
+	if cap(p.buf) < len(b) {
+		p.buf = make([]byte, len(b))
+	}
+	p.buf = p.buf[:len(b)]
+	copy(p.buf, b)
+	p.Payload = p.buf
+}
+
+// mplsHeadroom is the spare label capacity allocated when a stack grows, so
+// the push at the next MN reuses it instead of allocating.
+const mplsHeadroom = 4
+
+// PushMPLS prepends a label to the stack, reusing spare capacity when the
+// backing array has room.
+func (p *Packet) PushMPLS(l addr.Label) {
+	p.keyOK = false
+	n := len(p.MPLS)
+	if cap(p.MPLS) > n {
+		p.MPLS = p.MPLS[: n+1 : cap(p.MPLS)]
+		copy(p.MPLS[1:], p.MPLS[:n])
+		p.MPLS[0] = l
+		return
+	}
+	ns := make([]addr.Label, n+1, n+1+mplsHeadroom)
+	ns[0] = l
+	copy(ns[1:], p.MPLS)
+	p.MPLS = ns
+}
 
 // PopMPLS removes and returns the outermost label. ok is false if the stack
-// is empty.
+// is empty. The stack shifts left in place so its capacity survives for the
+// next push.
 func (p *Packet) PopMPLS() (l addr.Label, ok bool) {
 	if len(p.MPLS) == 0 {
 		return 0, false
 	}
+	p.keyOK = false
 	l = p.MPLS[0]
-	p.MPLS = p.MPLS[1:]
+	copy(p.MPLS, p.MPLS[1:])
+	p.MPLS = p.MPLS[:len(p.MPLS)-1]
 	return l, true
+}
+
+// SetTopMPLS rewrites the outermost label in place, pushing if the stack is
+// empty (permissive software-switch behaviour).
+func (p *Packet) SetTopMPLS(l addr.Label) {
+	if len(p.MPLS) == 0 {
+		p.PushMPLS(l)
+		return
+	}
+	p.keyOK = false
+	p.MPLS[0] = l
 }
 
 // TopMPLS returns the outermost label without removing it.
@@ -132,13 +218,19 @@ type FlowKey struct {
 // the valid 20-bit label range.
 const NoLabel addr.Label = 1 << 20
 
-// Key extracts the packet's FlowKey.
+// Key extracts the packet's FlowKey. The key is computed once and cached on
+// the packet; SetSrcIP/SetDstIP and the MPLS mutators invalidate it, so the
+// per-hop lookups of a packet traversing its route pay for the derivation
+// only after a rewrite.
 func (p *Packet) Key() FlowKey {
-	k := FlowKey{SrcIP: p.SrcIP, DstIP: p.DstIP, Label: NoLabel}
-	if l, ok := p.TopMPLS(); ok {
-		k.Label = l
+	if !p.keyOK {
+		p.key = FlowKey{SrcIP: p.SrcIP, DstIP: p.DstIP, Label: NoLabel}
+		if len(p.MPLS) > 0 {
+			p.key.Label = p.MPLS[0]
+		}
+		p.keyOK = true
 	}
-	return k
+	return p.key
 }
 
 // FiveTuple identifies a transport connection end to end.

@@ -167,7 +167,8 @@ func TestFlowKey(t *testing.T) {
 	if k.Label != 1234 || k.SrcIP != p.SrcIP || k.DstIP != p.DstIP {
 		t.Fatalf("Key = %+v", k)
 	}
-	p.MPLS = nil
+	p.PopMPLS()
+	p.PopMPLS()
 	if p.Key().Label != NoLabel {
 		t.Fatal("labelless key should use NoLabel")
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mic/internal/addr"
+	"mic/internal/bytequeue"
 	"mic/internal/packet"
 	"mic/internal/sim"
 )
@@ -43,11 +44,11 @@ type Conn struct {
 
 	// Send side.
 	iss        uint32
-	sndUna     uint32 // oldest unacknowledged sequence
-	sndNxt     uint32 // next sequence to send
-	sndMax     uint32 // highest sequence ever sent (go-back-N may rewind sndNxt)
-	sendBuf    []byte // bytes from sndUna (acked bytes are trimmed)
-	bufSeq     uint32 // sequence number of sendBuf[0]
+	sndUna     uint32          // oldest unacknowledged sequence
+	sndNxt     uint32          // next sequence to send
+	sndMax     uint32          // highest sequence ever sent (go-back-N may rewind sndNxt)
+	sendBuf    bytequeue.Queue // bytes from sndUna (acked bytes are popped)
+	bufSeq     uint32          // sequence number of the queue's front byte
 	cwnd       int
 	ssthresh   int
 	dupAcks    int
@@ -137,7 +138,7 @@ func (c *Conn) Send(data []byte) {
 		return
 	}
 	c.BytesSentApp += int64(len(data))
-	c.sendBuf = append(c.sendBuf, data...)
+	c.sendBuf.Append(data)
 	c.pump()
 }
 
@@ -156,15 +157,21 @@ func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
 // seqLT reports a < b in sequence space.
 func seqLT(a, b uint32) bool { return int32(b-a) > 0 }
 
+// mkPacket builds a frame on a pooled packet. The payload bytes are copied
+// into the packet's own buffer (SetPayload), so callers may keep mutating
+// the source slice — send-buffer segments are not aliased by in-flight
+// frames.
 func (c *Conn) mkPacket(flags uint8, seq uint32, payload []byte) *packet.Packet {
-	return &packet.Packet{
-		SrcMAC: c.stack.Host.MAC, DstMAC: addr.Broadcast,
-		SrcIP: c.tuple.SrcIP, DstIP: c.tuple.DstIP,
-		Proto: packet.ProtoTCP, TTL: 64,
-		SrcPort: c.tuple.SrcPort, DstPort: c.tuple.DstPort,
-		Seq: seq, Ack: c.rcvNxt, Flags: flags, Window: 65535,
-		Payload: payload,
+	p := c.stack.pool.Get()
+	p.SrcMAC, p.DstMAC = c.stack.Host.MAC, addr.Broadcast
+	p.SrcIP, p.DstIP = c.tuple.SrcIP, c.tuple.DstIP
+	p.Proto, p.TTL = packet.ProtoTCP, 64
+	p.SrcPort, p.DstPort = c.tuple.SrcPort, c.tuple.DstPort
+	p.Seq, p.Ack, p.Flags, p.Window = seq, c.rcvNxt, flags, 65535
+	if len(payload) > 0 {
+		p.SetPayload(payload)
 	}
+	return p
 }
 
 func (c *Conn) sendSYN() {
@@ -206,7 +213,7 @@ func (c *Conn) pump() {
 		if sent < 0 {
 			sent = 0
 		}
-		avail := len(c.sendBuf) - sent
+		avail := c.sendBuf.Len() - sent
 		if avail > 0 && inflight < c.cwnd {
 			n := avail
 			if n > MSS {
@@ -221,7 +228,7 @@ func (c *Conn) pump() {
 				}
 				n = c.cwnd - inflight
 			}
-			seg := c.sendBuf[sent : sent+n]
+			seg := c.sendBuf.Bytes()[sent : sent+n]
 			c.stack.emit(c.mkPacket(packet.FlagACK|packet.FlagPSH, c.sndNxt, seg))
 			if !c.sampling {
 				c.sampling = true
@@ -340,10 +347,10 @@ func (c *Conn) processAck(ack uint32) {
 		}
 		if seqLT(c.bufSeq, dataAck) {
 			trim := int(dataAck - c.bufSeq)
-			if trim > len(c.sendBuf) {
-				trim = len(c.sendBuf)
+			if trim > c.sendBuf.Len() {
+				trim = c.sendBuf.Len()
 			}
-			c.sendBuf = c.sendBuf[trim:]
+			c.sendBuf.PopFront(trim)
 			c.bufSeq += uint32(trim)
 		}
 		// RTT sample (Karn: sampling flag cleared on retransmit).
@@ -454,11 +461,11 @@ func (c *Conn) retransmitOldest() {
 		c.stack.emit(c.mkPacket(packet.FlagFIN|packet.FlagACK, c.finSeq, nil))
 	default:
 		sent := int(c.sndUna - c.bufSeq)
-		if sent < 0 || sent >= len(c.sendBuf) {
+		if sent < 0 || sent >= c.sendBuf.Len() {
 			return
 		}
-		n := min(MSS, len(c.sendBuf)-sent)
-		c.stack.emit(c.mkPacket(packet.FlagACK|packet.FlagPSH, c.sndUna, c.sendBuf[sent:sent+n]))
+		n := min(MSS, c.sendBuf.Len()-sent)
+		c.stack.emit(c.mkPacket(packet.FlagACK|packet.FlagPSH, c.sndUna, c.sendBuf.Bytes()[sent:sent+n]))
 	}
 	c.armTimer()
 }
@@ -567,7 +574,7 @@ func (c *Conn) Stats() ConnStats {
 	if sent < 0 {
 		sent = 0
 	}
-	unsent := len(c.sendBuf) - sent
+	unsent := c.sendBuf.Len() - sent
 	if unsent < 0 {
 		unsent = 0
 	}

@@ -30,6 +30,7 @@ const MSS = 1460
 type Stack struct {
 	Host *netsim.Host
 	eng  *sim.Engine
+	pool *packet.Pool // the network's packet pool; outgoing frames draw from it
 
 	listeners map[uint16]*Listener
 	conns     map[packet.FiveTuple]*Conn
@@ -41,6 +42,7 @@ func NewStack(h *netsim.Host) *Stack {
 	s := &Stack{
 		Host:      h,
 		eng:       h.Net().Eng,
+		pool:      h.Net().PacketPool(),
 		listeners: make(map[uint16]*Listener),
 		conns:     make(map[packet.FiveTuple]*Conn),
 		nextPort:  40000,
@@ -119,13 +121,13 @@ func (s *Stack) recv(_ int, p *packet.Packet) {
 	}
 	// Unknown connection: send RST unless this is itself a RST.
 	if p.Flags&packet.FlagRST == 0 {
-		s.emit(&packet.Packet{
-			SrcMAC: s.Host.MAC, DstMAC: addr.Broadcast,
-			SrcIP: p.DstIP, DstIP: p.SrcIP,
-			Proto: packet.ProtoTCP, TTL: 64,
-			SrcPort: p.DstPort, DstPort: p.SrcPort,
-			Flags: packet.FlagRST, Ack: p.Seq,
-		})
+		rst := s.pool.Get()
+		rst.SrcMAC, rst.DstMAC = s.Host.MAC, addr.Broadcast
+		rst.SrcIP, rst.DstIP = p.DstIP, p.SrcIP
+		rst.Proto, rst.TTL = packet.ProtoTCP, 64
+		rst.SrcPort, rst.DstPort = p.DstPort, p.SrcPort
+		rst.Flags, rst.Ack = packet.FlagRST, p.Seq
+		s.emit(rst)
 	}
 }
 

@@ -27,6 +27,10 @@ func newRig(t *testing.T, switches int, cfg netsim.Config) *rig {
 		t.Fatal(err)
 	}
 	eng := sim.New()
+	// Every transport test runs under the pool's use-after-release guard:
+	// retaining a pooled packet (or its payload) past handoff poisons and
+	// panics instead of silently corrupting.
+	cfg.PoolDebug = true
 	net := netsim.New(eng, g, cfg)
 	r := &ctrlplane.ProactiveRouter{CFLabel: 777}
 	if _, err := r.Install(net); err != nil {
