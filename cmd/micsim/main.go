@@ -35,7 +35,7 @@ func main() {
 		to       = flag.Int("to", 15, "responder host index (0-15)")
 		seed     = flag.Uint64("seed", 1, "RNG seed")
 		latency  = flag.Bool("latency", false, "also measure 10-byte ping-pong latency")
-		scenario = flag.String("scenario", "", "fault scenario: chaos | lossy (MIC schemes only)")
+		scenario = flag.String("scenario", "", "fault scenario to play (MIC schemes only); 'help' lists them")
 	)
 	flag.Parse()
 
@@ -44,29 +44,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *scenario == "help" {
+		fmt.Print(scenarioHelp())
+		return
+	}
 	if *from == *to || *from < 0 || *to < 0 || *from > 15 || *to > 15 {
 		fmt.Fprintln(os.Stderr, "micsim: -from and -to must be distinct host indices in 0..15")
 		os.Exit(2)
 	}
-	switch *scenario {
-	case "":
-	case "chaos":
-		if s != harness.SchemeMICTCP && s != harness.SchemeMICSSL {
-			fmt.Fprintln(os.Stderr, "micsim: -scenario chaos needs a MIC scheme (self-healing lives in the MC)")
+	if *scenario != "" {
+		sc := scenarioByName(*scenario)
+		if sc == nil {
+			fmt.Fprintf(os.Stderr, "micsim: unknown scenario %q; valid scenarios:\n%s", *scenario, scenarioHelp())
 			os.Exit(2)
 		}
-		runChaos(s == harness.SchemeMICSSL, *from, *to, *mns, *mflows, *fanout, *size, *seed)
-		return
-	case "lossy":
 		if s != harness.SchemeMICTCP && s != harness.SchemeMICSSL {
-			fmt.Fprintln(os.Stderr, "micsim: -scenario lossy needs a MIC scheme (the health machinery lives in the stream)")
+			fmt.Fprintf(os.Stderr, "micsim: -scenario %s needs a MIC scheme (%s)\n", sc.name, sc.why)
 			os.Exit(2)
 		}
-		runLossy(s == harness.SchemeMICSSL, *from, *to, *mns, *mflows, *fanout, *size, *seed)
+		if err := sc.run(os.Stdout, s == harness.SchemeMICSSL, *from, *to, *mns, *mflows, *fanout, *size, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
-	default:
-		fmt.Fprintf(os.Stderr, "micsim: unknown scenario %q\n", *scenario)
-		os.Exit(2)
 	}
 
 	switch s {
@@ -89,6 +89,59 @@ func main() {
 		}
 		fmt.Printf("pingpong latency=%v\n", d)
 	}
+}
+
+// scenarioSpec registers one named fault scenario: its report function (all
+// scenarios share one signature and write a deterministic report), a doc
+// line for -scenario help, and why it needs a MIC scheme.
+type scenarioSpec struct {
+	name string
+	doc  string
+	why  string
+	run  func(w io.Writer, secure bool, from, to, mns, mflows, fanout, size int, seed uint64) error
+}
+
+// scenarios is the registry -scenario dispatches over. Adding a scenario is
+// one entry here; unknown-name errors and -scenario help stay in sync for
+// free.
+var scenarios = []scenarioSpec{
+	{
+		name: "chaos",
+		doc:  "five-act fabric fault storm: link flap, switch/pod crashes, control-channel loss",
+		why:  "self-healing lives in the MC",
+		run:  chaosReport,
+	},
+	{
+		name: "lossy",
+		doc:  "gray-failure storm: silent loss, mangling, blackhole; no control-plane events",
+		why:  "the health machinery lives in the stream",
+		run:  lossyReport,
+	},
+	{
+		name: "mckill",
+		doc:  "controller crash-failover: kill the active MC mid-transfer; standby takes over and reconciles",
+		why:  "controller failover lives in the MC cluster",
+		run:  mckillReport,
+	},
+}
+
+// scenarioByName finds a registered scenario, or nil.
+func scenarioByName(name string) *scenarioSpec {
+	for i := range scenarios {
+		if scenarios[i].name == name {
+			return &scenarios[i]
+		}
+	}
+	return nil
+}
+
+// scenarioHelp renders one line per registered scenario.
+func scenarioHelp() string {
+	var b strings.Builder
+	for _, sc := range scenarios {
+		fmt.Fprintf(&b, "  %-8s %s\n", sc.name, sc.doc)
+	}
+	return b.String()
 }
 
 func parseScheme(s string) (harness.Scheme, error) {
@@ -163,22 +216,14 @@ func runMIC(secure bool, from, to, mns, mflows, fanout, size int, seed uint64) {
 	}
 }
 
-// runLossy plays the gray-failure storm — per-link loss, packet mangling,
-// a silent blackhole — against a MIC transfer and reports what the
-// degraded-mode data plane did about it: per-m-flow health, slice
-// retransmissions, rebalanced traffic split. Unlike -scenario chaos, most
-// of these faults never raise a control-plane event; surviving them is the
-// endpoints' job.
-func runLossy(secure bool, from, to, mns, mflows, fanout, size int, seed uint64) {
-	if err := lossyReport(os.Stdout, secure, from, to, mns, mflows, fanout, size, seed); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
-
-// lossyReport runs the lossy scenario and writes the metrics report to w.
-// Everything it prints is a function of its arguments — the determinism
-// test in main_test.go runs it twice and asserts byte-identical output.
+// lossyReport plays the gray-failure storm — per-link loss, packet
+// mangling, a silent blackhole — against a MIC transfer and reports what
+// the degraded-mode data plane did about it: per-m-flow health, slice
+// retransmissions, rebalanced traffic split. Unlike the chaos scenario,
+// most of these faults never raise a control-plane event; surviving them is
+// the endpoints' job. Everything it prints is a function of its arguments —
+// the determinism test in main_test.go runs it twice and asserts
+// byte-identical output.
 func lossyReport(w io.Writer, secure bool, from, to, mns, mflows, fanout, size int, seed uint64) error {
 	g, err := topo.FatTree(4)
 	if err != nil {
@@ -254,18 +299,11 @@ func lossyReport(w io.Writer, secure bool, from, to, mns, mflows, fanout, size i
 	return nil
 }
 
-// runChaos plays the standard five-act fault storm against a MIC transfer
-// with auto-repair enabled and reports what the control plane did about it.
-func runChaos(secure bool, from, to, mns, mflows, fanout, size int, seed uint64) {
-	if err := chaosReport(os.Stdout, secure, from, to, mns, mflows, fanout, size, seed); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
-
-// chaosReport runs the chaos scenario and writes the metrics report to w.
-// Everything it prints is a function of its arguments — the determinism
-// test in main_test.go runs it twice and asserts byte-identical output.
+// chaosReport plays the standard five-act fault storm against a MIC
+// transfer with auto-repair enabled and reports what the control plane did
+// about it. Everything it prints is a function of its arguments — the
+// determinism test in main_test.go runs it twice and asserts byte-identical
+// output.
 func chaosReport(w io.Writer, secure bool, from, to, mns, mflows, fanout, size int, seed uint64) error {
 	g, err := topo.FatTree(4)
 	if err != nil {
@@ -338,5 +376,96 @@ func chaosReport(w io.Writer, secure bool, from, to, mns, mflows, fanout, size i
 		got, wall, float64(size)*8/wall.Seconds()/1e6, len(runner.Applied))
 	fmt.Fprintf(w, "repairs=%d repair-failures=%d retransmits=%d timeouts=%d give-ups=%d\n",
 		mc.Repairs, mc.RepairFailures, mc.Ch.Retransmits, mc.Ch.Timeouts, mc.Ch.GiveUps)
+	return nil
+}
+
+// mckillReport plays the controller-kill storm against a MIC transfer
+// served by a failover cluster (one active, one warm standby) and reports
+// the takeover: detection by missed heartbeats, journal replay, switch
+// reconciliation, the post-takeover repair sweep, and a final omniscient
+// audit of every switch's flow table against the new active's intent.
+// Everything it prints is a function of its arguments — the determinism
+// test in main_test.go runs it twice and asserts byte-identical output.
+func mckillReport(w io.Writer, secure bool, from, to, mns, mflows, fanout, size int, seed uint64) error {
+	g, err := topo.FatTree(4)
+	if err != nil {
+		return err
+	}
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	cl, err := mic.NewCluster(net, mic.Config{
+		MNs: mns, MFlows: mflows, MulticastFanout: fanout, Seed: seed,
+		AutoRepair: true, RepairMaxRetries: 20,
+	}, mic.ClusterConfig{})
+	if err != nil {
+		return err
+	}
+	var stacks []*transport.Stack
+	for _, hid := range g.Hosts() {
+		stacks = append(stacks, transport.NewStack(net.Host(hid)))
+	}
+	got := 0
+	var start, end sim.Time
+	mic.Listen(stacks[to], 80, secure, func(s *mic.Stream) {
+		s.OnData(func(b []byte) {
+			got += len(b)
+			if got >= size {
+				end = eng.Now()
+			}
+		})
+	})
+	client := mic.NewClient(stacks[from], cl)
+	client.Secure = secure
+	data := make([]byte, size)
+	var dialErr error
+	client.Dial(stacks[to].Host.IP.String(), 80, func(s *mic.Stream, err error) {
+		if err != nil {
+			dialErr = err
+			return
+		}
+		start = eng.Now()
+		s.Send(data)
+	})
+
+	sched, err := chaos.FailoverScenario(g, seed, chaos.FailoverConfig{From: g.Hosts()[from], To: g.Hosts()[to]})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "failover schedule (seed %d):\n%s", seed, sched.Render(g))
+	runner := chaos.NewRunner(net, nil)
+	runner.OnFault = func(f chaos.Fault) {
+		fmt.Fprintf(w, "%12v  fault  %s\n", time.Duration(eng.Now()), f.Kind)
+	}
+	cl.OnTakeover = func(ts mic.TakeoverStats) {
+		fmt.Fprintf(w, "%12v  takeover member=%d channels=%d reinstalled=%d stale-deleted=%d\n",
+			time.Duration(ts.At), ts.Member, ts.Channels, ts.Reinstalled, ts.StaleDeleted)
+	}
+	cl.SubscribeRepair(func(ev mic.RepairEvent) {
+		verdict := "repaired"
+		if ev.Err != nil {
+			verdict = "FAILED: " + ev.Err.Error()
+		}
+		fmt.Fprintf(w, "%12v  repair channel %d attempts=%d latency=%v %s\n",
+			time.Duration(ev.CompletedAt), ev.Channel, ev.Attempts, ev.CompletedAt.Sub(ev.DetectedAt), verdict)
+	})
+	runner.Play(sched)
+
+	// The cluster's heartbeat tickers run forever; drive the engine for a
+	// fixed window, stop the tickers, then drain what remains.
+	eng.RunFor(2 * time.Second)
+	cl.Stop()
+	eng.Run()
+	if dialErr != nil {
+		return dialErr
+	}
+	if got < size {
+		return fmt.Errorf("micsim: transfer incomplete (%d/%d bytes)", got, size)
+	}
+	wall := time.Duration(end - start)
+	fmt.Fprintf(w, "delivered %d bytes in %v (%.1f Mbps) through %d faults and %d takeover(s)\n",
+		got, wall, float64(size)*8/wall.Seconds()/1e6, len(runner.Applied), cl.Takeovers())
+	stale, missing := cl.Audit()
+	fmt.Fprintf(w, "flow-table audit: stale=%d missing=%d\n", stale, missing)
+	fmt.Fprint(w, cl.Telemetry().String())
 	return nil
 }

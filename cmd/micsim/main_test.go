@@ -24,6 +24,11 @@ func TestScenarioReportsAreDeterministic(t *testing.T) {
 		{"lossy", func(w io.Writer, seed uint64) error {
 			return lossyReport(w, false, 0, 15, 3, 2, 1, size, seed)
 		}},
+		// mckill gets a 4 MB payload so the transfer is still mid-flight when
+		// the controller dies at 30ms — the takeover must happen under load.
+		{"mckill", func(w io.Writer, seed uint64) error {
+			return mckillReport(w, false, 0, 15, 3, 2, 1, 4*size, seed)
+		}},
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {

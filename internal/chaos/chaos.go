@@ -51,6 +51,12 @@ const (
 	// see, only the data plane's health machinery. LinkClear removes it.
 	LinkDegrade
 	LinkClear
+	// MCKill crashes the controller host with index Ctrl (registered via
+	// netsim.RegisterCtrlHost): its process dies mid-transaction, heartbeats
+	// stop, and — in a mic.Cluster — a standby must detect and take over.
+	// MCRestart brings the host back; the controller rejoins as a standby.
+	MCKill
+	MCRestart
 )
 
 func (k Kind) String() string {
@@ -73,19 +79,25 @@ func (k Kind) String() string {
 		return "link-degrade"
 	case LinkClear:
 		return "link-clear"
+	case MCKill:
+		return "mc-kill"
+	case MCRestart:
+		return "mc-restart"
 	}
 	return fmt.Sprintf("chaos.Kind(%d)", int(k))
 }
 
 // Fault is one scheduled fault. Which fields matter depends on Kind:
 // link faults use Node/Port, switch faults use Node, pod faults use Pod,
-// ControlLoss uses Loss, and LinkDegrade uses Node/Port/Profile.
+// ControlLoss uses Loss, LinkDegrade uses Node/Port/Profile, and
+// MCKill/MCRestart use Ctrl.
 type Fault struct {
 	At      time.Duration // offset from the moment the schedule starts playing
 	Kind    Kind
 	Node    topo.NodeID
 	Port    int
 	Pod     int
+	Ctrl    int // controller-host index for MCKill/MCRestart
 	Loss    float64
 	Profile netsim.FaultProfile
 }
@@ -109,6 +121,8 @@ func (f Fault) render(g *topo.Graph) string {
 	case LinkClear:
 		peer := g.Node(f.Node).Ports[f.Port].Peer
 		return fmt.Sprintf("%v %s %s<->%s", f.At, f.Kind, g.Node(f.Node).Name, g.Node(peer).Name)
+	case MCKill, MCRestart:
+		return fmt.Sprintf("%v %s ctrl%d", f.At, f.Kind, f.Ctrl)
 	}
 	return fmt.Sprintf("%v %s", f.At, f.Kind)
 }
@@ -257,6 +271,10 @@ func (r *Runner) apply(f Fault) {
 		r.Net.SetLinkFault(f.Node, f.Port, f.Profile)
 	case LinkClear:
 		r.Net.ClearLinkFault(f.Node, f.Port)
+	case MCKill:
+		r.Net.SetCtrlHostDown(f.Ctrl, true)
+	case MCRestart:
+		r.Net.SetCtrlHostDown(f.Ctrl, false)
 	}
 	r.Applied = append(r.Applied, f)
 	if r.OnFault != nil {
@@ -510,5 +528,89 @@ func LossyScenario(g *topo.Graph, seed uint64, cfg LossyConfig) (Schedule, error
 			Profile: netsim.FaultProfile{Loss: 1}},
 		Fault{At: at + cfg.Window, Kind: LinkClear, Node: core, Port: corePort})
 
+	return s.sorted(), nil
+}
+
+// FailoverConfig parameterizes FailoverScenario. Zero fields pick defaults.
+type FailoverConfig struct {
+	// From and To are the transfer endpoints whose channels must ride
+	// through the controller kill. Both required.
+	From, To topo.NodeID
+
+	// Ctrl is the controller-host index to kill (default 0, the primary).
+	Ctrl int
+
+	Start  time.Duration // kill time, after the transfer is mid-flight (default 30ms)
+	PreCut time.Duration // how long before the kill the responder-side cut lands (default 1ms)
+	Outage time.Duration // how long the killed controller stays dead (default 60ms)
+	Cut    time.Duration // offset after the kill at which a second link is cut (default 5ms)
+	Heal   time.Duration // how long the mid-blackout cut lasts (default 50ms)
+}
+
+func (c FailoverConfig) withDefaults() FailoverConfig {
+	if c.Start <= 0 {
+		c.Start = 30 * time.Millisecond
+	}
+	if c.PreCut <= 0 {
+		c.PreCut = time.Millisecond
+	}
+	if c.Outage <= 0 {
+		c.Outage = 60 * time.Millisecond
+	}
+	if c.Cut <= 0 {
+		c.Cut = 5 * time.Millisecond
+	}
+	if c.Heal <= 0 {
+		c.Heal = 50 * time.Millisecond
+	}
+	return c
+}
+
+// FailoverScenario builds the controller-kill storm for a fat-tree running a
+// mic.Cluster, deterministically from seed. Four acts: an uplink of the
+// responder's edge is cut just before the kill, so the active dies with a
+// repair in flight — the new rule epoch may be installed but the old
+// epoch's purge dies with the process, exactly the stale state takeover
+// reconciliation exists to clean up; the active controller is killed
+// mid-transfer; while the cluster is headless, one uplink of the
+// initiator's edge is cut — a fabric failure no dead controller can repair,
+// testing the new active's post-takeover repair sweep; and finally the dead
+// controller restarts and must rejoin as a standby by journal replay. Both
+// cuts heal later so flapped-away capacity returns.
+func FailoverScenario(g *topo.Graph, seed uint64, cfg FailoverConfig) (Schedule, error) {
+	cfg = cfg.withDefaults()
+	if PodOfHost(g, cfg.From) == 0 || PodOfHost(g, cfg.To) == 0 {
+		return nil, fmt.Errorf("chaos: From/To must be fat-tree hosts")
+	}
+	if cfg.PreCut >= cfg.Start {
+		return nil, fmt.Errorf("chaos: PreCut %v must be shorter than Start %v", cfg.PreCut, cfg.Start)
+	}
+	rng := sim.NewRNG(seed).Stream("chaos-failover")
+	aggUplinks := func(edgeID topo.NodeID) []int {
+		var out []int
+		for port, p := range g.Node(edgeID).Ports {
+			if strings.HasPrefix(g.Node(p.Peer).Name, "agg") {
+				out = append(out, port)
+			}
+		}
+		return out
+	}
+	fromEdge := g.Node(cfg.From).Ports[0].Peer
+	toEdge := g.Node(cfg.To).Ports[0].Peer
+	fromUp, toUp := aggUplinks(fromEdge), aggUplinks(toEdge)
+	if len(fromUp) < 2 || len(toUp) < 2 {
+		return nil, fmt.Errorf("chaos: edges %s/%s need 2+ agg uplinks each",
+			g.Node(fromEdge).Name, g.Node(toEdge).Name)
+	}
+	preCutPort := sim.Pick(rng, toUp)
+	cutPort := sim.Pick(rng, fromUp)
+	s := Schedule{
+		{At: cfg.Start - cfg.PreCut, Kind: LinkCut, Node: toEdge, Port: preCutPort},
+		{At: cfg.Start, Kind: MCKill, Ctrl: cfg.Ctrl},
+		{At: cfg.Start + cfg.Cut, Kind: LinkCut, Node: fromEdge, Port: cutPort},
+		{At: cfg.Start + cfg.Outage, Kind: MCRestart, Ctrl: cfg.Ctrl},
+		{At: cfg.Start + cfg.Cut + cfg.Heal, Kind: LinkRestore, Node: fromEdge, Port: cutPort},
+		{At: cfg.Start + cfg.Cut + cfg.Heal, Kind: LinkRestore, Node: toEdge, Port: preCutPort},
+	}
 	return s.sorted(), nil
 }

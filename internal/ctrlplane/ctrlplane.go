@@ -58,6 +58,13 @@ type Channel struct {
 	// means 16x the effective AckTimeout.
 	MaxBackoff time.Duration
 
+	// Down marks the channel's controller endpoint as crashed: nothing is
+	// sent, pending retransmit loops stop, and no callbacks fire. A failover
+	// layer sets it when the controller host dies; a restarted controller
+	// opens a fresh Channel rather than reviving a dead one, because closures
+	// scheduled by the old incarnation still reference the old object.
+	Down bool
+
 	// Counters for control-plane overhead and reliability experiments.
 	FlowMods    uint64
 	GroupMods   uint64
@@ -65,6 +72,8 @@ type Channel struct {
 	Deletes     uint64
 	Barriers    uint64
 	Echoes      uint64
+	Heartbeats  uint64 // controller-to-controller liveness beats sent
+	Dumps       uint64 // flow-table dump (stats request) messages
 	Retransmits uint64 // attempts beyond the first
 	Timeouts    uint64 // ack timers that expired
 	GiveUps     uint64 // messages abandoned after MaxRetries
@@ -181,6 +190,12 @@ func (c *Channel) deliver(sw *netsim.Switch, apply func(), onDone func(ok bool))
 	backoff := c.ackTimeout()
 	var try func()
 	try = func() {
+		// A crashed controller sends nothing more and hears nothing back: the
+		// message loop goes silent without resolving, exactly as a process
+		// kill would leave a TCP transaction dangling.
+		if c.Down {
+			return
+		}
 		attempt++
 		if attempt > 1 {
 			c.Retransmits++
@@ -196,7 +211,7 @@ func (c *Channel) deliver(sw *netsim.Switch, apply func(), onDone func(ok bool))
 			apply()
 			ackLost := c.lost()
 			c.Eng.After(c.Latency, func() {
-				if ackLost || resolved {
+				if ackLost || resolved || c.Down {
 					return
 				}
 				resolved = true
@@ -212,7 +227,7 @@ func (c *Channel) deliver(sw *netsim.Switch, apply func(), onDone func(ok bool))
 		}
 		backoff *= 2
 		c.Eng.After(wait, func() {
-			if resolved {
+			if resolved || c.Down {
 				return
 			}
 			c.Timeouts++
@@ -293,6 +308,9 @@ func (c *Channel) DeleteByCookie(sw *netsim.Switch, cookie uint64, onDone func(r
 // Packet-outs are fire-and-forget (as in OpenFlow): they are subject to
 // loss but never retransmitted.
 func (c *Channel) PacketOut(sw *netsim.Switch, actions []flowtable.Action, p *packet.Packet) {
+	if c.Down {
+		return
+	}
 	c.PacketOuts++
 	if c.lost() {
 		return
@@ -325,6 +343,9 @@ func (c *Channel) Barrier(sw *netsim.Switch, onDone func(ok bool)) {
 // cb receives true if the reply arrives within the ack timeout. A false
 // reading can be loss, not death — callers (the Prober) must debounce.
 func (c *Channel) Echo(sw *netsim.Switch, cb func(alive bool)) {
+	if c.Down {
+		return
+	}
 	c.Echoes++
 	answered := false
 	reqLost := c.lost()
@@ -334,7 +355,7 @@ func (c *Channel) Echo(sw *netsim.Switch, cb func(alive bool)) {
 		}
 		repLost := c.lost()
 		c.Eng.After(c.Latency, func() {
-			if repLost || answered {
+			if repLost || answered || c.Down {
 				return
 			}
 			answered = true
@@ -342,9 +363,47 @@ func (c *Channel) Echo(sw *netsim.Switch, cb func(alive bool)) {
 		})
 	})
 	c.Eng.After(c.ackTimeout(), func() {
-		if !answered {
+		if !answered && !c.Down {
 			answered = true
 			cb(false)
+		}
+	})
+}
+
+// Heartbeat sends one controller-to-controller liveness beat over the
+// management network: a single unretransmitted one-way message, subject to
+// the channel's loss model. cb runs at the receiver after one control
+// latency if the beat survives. A crashed sender (Down) emits nothing —
+// which is precisely the signal a standby watches for.
+func (c *Channel) Heartbeat(cb func()) {
+	if c.Down {
+		return
+	}
+	c.Heartbeats++
+	if c.lost() {
+		return
+	}
+	c.Eng.After(c.Latency, func() {
+		cb()
+	})
+}
+
+// DumpFlows requests sw's full flow-table state — the OFPMP_FLOW +
+// OFPMP_GROUP stats multipart a controller issues when reconciling after
+// failover. It is carried reliably like a FlowMod; onDone receives a
+// snapshot of the installed entries (shared pointers, read-only by
+// convention) and the installed group IDs in ascending order, or ok=false
+// if the switch never answered within the retry budget.
+func (c *Channel) DumpFlows(sw *netsim.Switch, onDone func(entries []*flowtable.Entry, groups []flowtable.GroupID, ok bool)) {
+	c.Dumps++
+	var entries []*flowtable.Entry
+	var groups []flowtable.GroupID
+	c.deliver(sw, func() {
+		entries = append(entries[:0], sw.Table.Entries()...)
+		groups = sw.Table.GroupIDs()
+	}, func(ok bool) {
+		if onDone != nil {
+			onDone(entries, groups, ok)
 		}
 	})
 }

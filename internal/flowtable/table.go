@@ -374,6 +374,19 @@ func (t *Table) DeleteGroup(id GroupID) {
 	delete(t.groups, id)
 }
 
+// GroupIDs returns the installed group IDs in ascending order — the group
+// half of a flow-table dump, used by controller reconciliation to spot
+// stale or missing groups.
+func (t *Table) GroupIDs() []GroupID {
+	ids := make([]GroupID, 0, len(t.groups))
+	// lint:ignore detrange keys are collected then sorted immediately below
+	for id := range t.groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // Dump renders the table — flow entries in match order, then the group
 // table in ascending group ID so the dump is byte-stable across runs.
 func (t *Table) Dump() string {
@@ -385,13 +398,7 @@ func (t *Table) Dump() string {
 		}
 		s += fmt.Sprintf(" (pkts=%d)\n", e.Packets)
 	}
-	ids := make([]GroupID, 0, len(t.groups))
-	// lint:ignore detrange keys are collected then sorted immediately below
-	for id := range t.groups {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	for _, id := range t.GroupIDs() {
 		g := t.groups[id]
 		s += fmt.Sprintf("group=%d type=all buckets=%d ->", uint32(id), len(g.Buckets))
 		for _, b := range g.Buckets {

@@ -118,7 +118,7 @@ func TestMultiFlowShapeMatchesFig9b(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"7", "8", "9a", "9b", "9c", "a1", "a2", "a3", "a4", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "sc"}
+	want := []string{"7", "8", "9a", "9b", "9c", "a1", "a2", "a3", "a4", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "sc"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -269,6 +269,39 @@ func TestExperimentS7Quick(t *testing.T) {
 	}
 	if micOn <= micOff {
 		t.Fatalf("health machinery (%.0f Mbps) should beat its ablation (%.0f Mbps) at 20%% loss", micOn, micOff)
+	}
+}
+
+func TestExperimentS8Quick(t *testing.T) {
+	e, _ := Find("s8")
+	res, err := e.Run(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table.String()
+	if !strings.Contains(out, "mic_f1") || !strings.Contains(out, "mic_f4_noreconcile") {
+		t.Fatalf("missing variant rows:\n%s", out)
+	}
+	// The ablation's whole point: without reconciliation the dead life's
+	// rules stay on the switches, with it they don't.
+	on, err := s8Trial(4, false, 1<<20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := s8Trial(4, true, 1<<20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.stale != 0 {
+		t.Fatalf("reconciling takeover left %.0f stale rules", on.stale)
+	}
+	if off.stale == 0 {
+		t.Fatal("reconciliation-off takeover left no stale rules; the ablation shows nothing")
+	}
+	// The blackout a dial rides out is detection + replay + reconcile —
+	// milliseconds, not the 10s trial window.
+	if on.blackoutMs <= 0 || on.blackoutMs > 100 {
+		t.Fatalf("setup blackout = %.2fms, implausible", on.blackoutMs)
 	}
 }
 

@@ -165,6 +165,53 @@ func (a *CPUAccount) Utilization(wall time.Duration) float64 {
 	return float64(a.Total()) / float64(wall)
 }
 
+// Counters is an ordered set of named integer counters: the export surface
+// for component liveness/health telemetry (controller heartbeats, takeovers,
+// reconciliation results). Names render in first-Add order, so a component
+// that always adds its counters in one fixed order produces byte-stable
+// report output.
+type Counters struct {
+	names  []string
+	values map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{values: make(map[string]uint64)}
+}
+
+// Add increments name by delta, creating it (at the end of the order) on
+// first use.
+func (c *Counters) Add(name string, delta uint64) {
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += delta
+}
+
+// Set overwrites name's value, creating it on first use.
+func (c *Counters) Set(name string, v uint64) {
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] = v
+}
+
+// Get returns name's value (zero when absent).
+func (c *Counters) Get(name string) uint64 { return c.values[name] }
+
+// Names returns the counter names in first-Add order.
+func (c *Counters) Names() []string { return c.names }
+
+// String renders one "name=value" pair per line in first-Add order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, n := range c.names {
+		fmt.Fprintf(&b, "%s=%d\n", n, c.values[n])
+	}
+	return b.String()
+}
+
 // Mbps converts a byte count moved over a duration to megabits per second.
 func Mbps(bytes int64, d time.Duration) float64 {
 	if d <= 0 {

@@ -152,3 +152,34 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV =\n%q\nwant\n%q", csv, want)
 	}
 }
+
+func TestCountersOrderAndRendering(t *testing.T) {
+	c := NewCounters()
+	c.Set("takeovers", 0)
+	c.Add("heartbeats_sent", 3)
+	c.Add("heartbeats_sent", 2)
+	c.Add("takeovers", 1)
+	c.Set("rules_reinstalled", 7)
+	if got := c.Get("heartbeats_sent"); got != 5 {
+		t.Fatalf("Get(heartbeats_sent) = %d, want 5", got)
+	}
+	if got := c.Get("absent"); got != 0 {
+		t.Fatalf("Get(absent) = %d, want 0", got)
+	}
+	// Order is first-use, not alphabetical, and Add after Set must not
+	// re-register the name.
+	want := []string{"takeovers", "heartbeats_sent", "rules_reinstalled"}
+	names := c.Names()
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	const rendered = "takeovers=1\nheartbeats_sent=5\nrules_reinstalled=7\n"
+	if got := c.String(); got != rendered {
+		t.Fatalf("String() = %q, want %q", got, rendered)
+	}
+}

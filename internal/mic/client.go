@@ -15,6 +15,19 @@ import (
 // worst-case transport SYN retries, tiny against a hang.
 const DefaultSetupTimeout = 2 * time.Second
 
+// ControlPlane is the client's handle to whatever answers channel requests:
+// a single MC, or a failover Cluster fronting an active controller and its
+// standbys (clients address a controller service, not a process — the VIP
+// model, which is what makes controller replacement invisible to them).
+type ControlPlane interface {
+	Engine() *sim.Engine
+	ClientSeed() uint64
+	EstablishChannel(initiator addr.IP, target string, opts ChannelOptions, cb func(*ChannelInfo, error))
+	CloseChannel(id uint64, cb func()) error
+	SubscribeRepair(fn func(RepairEvent))
+	SubscribeChannelDown(fn func(id uint64, initiator addr.IP, err error))
+}
+
 // Client is the initiator-side MIC library: a socket-like API that hides
 // the channel request, m-flow connections and slicing. One Client serves
 // one host. Channels are cached per target and reused across Dials, the
@@ -22,7 +35,7 @@ const DefaultSetupTimeout = 2 * time.Second
 // (Sec IV-B1).
 type Client struct {
 	Stack *transport.Stack
-	MC    *MC
+	MC    ControlPlane
 
 	// Secure selects SSL under the m-flows (MIC-SSL vs MIC-TCP).
 	Secure bool
@@ -57,11 +70,11 @@ type cachedChannel struct {
 // immediately re-probes every affected stream's m-flows, and a terminal
 // channel loss fails the affected streams with a clean error (and evicts
 // the dead channel from the reuse cache) instead of leaving them to hang.
-func NewClient(stack *transport.Stack, mc *MC) *Client {
+func NewClient(stack *transport.Stack, mc ControlPlane) *Client {
 	c := &Client{
 		Stack:    stack,
 		MC:       mc,
-		rng:      sim.NewRNG(uint64(stack.Host.IP) ^ mc.Cfg.Seed ^ 0x5ac1e5),
+		rng:      sim.NewRNG(uint64(stack.Host.IP) ^ mc.ClientSeed() ^ 0x5ac1e5),
 		channels: make(map[string]*cachedChannel),
 		pending:  make(map[string][]func(*ChannelInfo, error)),
 		streams:  make(map[uint64][]*Stream),
@@ -106,7 +119,7 @@ func (c *Client) Dial(target string, port uint16, cb func(*Stream, error)) {
 		timeout = DefaultSetupTimeout
 	}
 	settled := false
-	c.MC.Net.Eng.After(timeout, func() {
+	c.MC.Engine().After(timeout, func() {
 		if settled {
 			return
 		}
@@ -137,7 +150,7 @@ func (c *Client) Dial(target string, port uint16, cb func(*Stream, error)) {
 // coalescing concurrent requests.
 func (c *Client) withChannel(target string, cb func(*ChannelInfo, error)) {
 	if cc, ok := c.channels[target]; ok {
-		cc.lastUsed = c.MC.Net.Eng.Now()
+		cc.lastUsed = c.MC.Engine().Now()
 		cb(cc.info, nil)
 		return
 	}
@@ -150,7 +163,7 @@ func (c *Client) withChannel(target string, cb func(*ChannelInfo, error)) {
 		waiters := c.pending[target]
 		delete(c.pending, target)
 		if err == nil {
-			c.channels[target] = &cachedChannel{info: info, lastUsed: c.MC.Net.Eng.Now()}
+			c.channels[target] = &cachedChannel{info: info, lastUsed: c.MC.Engine().Now()}
 		}
 		for _, w := range waiters {
 			w(info, err)
@@ -188,7 +201,7 @@ func (c *Client) openStream(info *ChannelInfo, port uint16, cb func(*Stream, err
 			bs.Send(hello(token, uint8(i), uint8(n)))
 			remaining--
 			if remaining == 0 {
-				s := newStream(conns, c.rng.Stream("slicer"), c.MC.Net.Eng, c.Health)
+				s := newStream(conns, c.rng.Stream("slicer"), c.MC.Engine(), c.Health)
 				c.register(info.ID, s)
 				cb(s, nil)
 			}
@@ -264,7 +277,7 @@ func (c *Client) Channel(target string) (*ChannelInfo, bool) {
 func (c *Client) StartIdleNotifier(interval time.Duration) (stop func()) {
 	c.notifier++
 	gen := c.notifier
-	eng := c.MC.Net.Eng
+	eng := c.MC.Engine()
 	var tick func()
 	tick = func() {
 		if gen != c.notifier {

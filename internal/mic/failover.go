@@ -1,0 +1,817 @@
+package mic
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mic/internal/addr"
+	"mic/internal/ctrlplane"
+	"mic/internal/flowtable"
+	"mic/internal/metrics"
+	"mic/internal/netsim"
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+// This file makes the Mimic Controller survivable: a Cluster runs one active
+// MC plus warm standbys that tail its journal, detect its death by missed
+// heartbeats, and take over — replaying the journal, reconciling every
+// switch's flow table against the rebuilt intent (delete the dead life's
+// stale rules by cookie, reinstall what never landed), and re-arming
+// self-healing. In-flight m-flows keep forwarding throughout: a controller
+// crash leaves switch state untouched, and reconciliation is make-before-
+// break. The paper assumes the MC simply exists (Sec III); this layer
+// answers what a deployment actually needs when it stops existing.
+
+// ClusterConfig tunes failover behaviour.
+type ClusterConfig struct {
+	// Standbys is how many warm standby controllers to run (default 1).
+	Standbys int
+
+	// HeartbeatInterval is the active's beat period over the management
+	// network; standbys also check for overdue beats at this period.
+	HeartbeatInterval time.Duration
+
+	// HeartbeatMisses is how many consecutive overdue checks a standby
+	// tolerates before declaring the active dead and taking over. The
+	// debounce absorbs individual beat losses on a lossy management network.
+	HeartbeatMisses int
+
+	// ReplicationLag is the journal-record shipping delay from the active to
+	// each standby — the replication stream's one-way latency.
+	ReplicationLag time.Duration
+
+	// RequestTimeout is how long a client-facing request waits for the
+	// active's answer before re-issuing it (the request may have died with
+	// the controller). RequestRetries bounds the re-issues.
+	RequestTimeout time.Duration
+	RequestRetries int
+
+	// DisableReconcile skips the takeover flow-table reconciliation — the
+	// ablation arm that shows why dumping and diffing switch state matters.
+	DisableReconcile bool
+}
+
+// Failover defaults.
+const (
+	DefaultStandbys          = 1
+	DefaultHeartbeatInterval = 2 * time.Millisecond
+	DefaultHeartbeatMisses   = 3
+	DefaultReplicationLag    = 250 * time.Microsecond
+	DefaultRequestTimeout    = 10 * time.Millisecond
+	DefaultRequestRetries    = 50
+)
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Standbys == 0 {
+		c.Standbys = DefaultStandbys
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if c.HeartbeatMisses == 0 {
+		c.HeartbeatMisses = DefaultHeartbeatMisses
+	}
+	if c.ReplicationLag == 0 {
+		c.ReplicationLag = DefaultReplicationLag
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.RequestRetries == 0 {
+		c.RequestRetries = DefaultRequestRetries
+	}
+	return c
+}
+
+// memberRole is a cluster member's current role.
+type memberRole int
+
+const (
+	roleStandby memberRole = iota
+	roleActive
+	roleDead
+)
+
+// member is one controller process in the cluster.
+type member struct {
+	mc      *MC
+	ctrlIdx int // netsim controller-host index (crash/restart handle)
+	role    memberRole
+
+	// pending holds replicated journal records shipped but not yet applied
+	// (in flight for ReplicationLag). A takeover drains them first.
+	pending []Record
+
+	// beatGen cancels this member's heartbeat/watchdog tickers: each
+	// (re)start bumps it and stale tickers see the mismatch and die.
+	beatGen uint64
+
+	// lastBeat is when this standby last heard the active; missedRun counts
+	// consecutive overdue checks.
+	lastBeat  sim.Time
+	missedRun int
+}
+
+// TakeoverStats summarizes one completed takeover for observers.
+type TakeoverStats struct {
+	At           sim.Time // when reconciliation finished and the new active took charge
+	Member       int      // index of the promoted member
+	Channels     int      // live channels rebuilt from the journal
+	Reinstalled  int      // rules found missing from switches and reinstalled
+	StaleDeleted int      // rules from dead controller lives deleted by cookie
+}
+
+// Cluster runs a failover group of Mimic Controllers over one fabric: an
+// active that serves requests and journals every mutation, and warm standbys
+// that tail the journal and race to take over when the active's heartbeats
+// stop. It implements ControlPlane, so clients bind to the cluster and ride
+// through a controller crash with at most a request retry.
+type Cluster struct {
+	Net  *netsim.Network
+	Cfg  Config        // the MC config every member runs (defaults applied)
+	CCfg ClusterConfig // failover tuning (defaults applied)
+
+	// Journal is the active's replicated mutation log.
+	Journal *Journal
+
+	// Counters tracks controller-liveness telemetry (heartbeats, takeovers,
+	// reconciliation work) in fixed registration order for stable reports.
+	Counters *metrics.Counters
+
+	// OnTakeover (may be nil) observes every completed takeover.
+	OnTakeover func(TakeoverStats)
+
+	members []*member
+	active  int // index of the acting member, -1 during a blackout
+
+	takeovers uint32
+
+	// needsReconcile flags switches whose takeover reconciliation could not
+	// complete (switch dead or dump abandoned); retried when they come back.
+	needsReconcile map[topo.NodeID]bool
+
+	repairSubs []func(RepairEvent)
+	downSubs   []func(id uint64, initiator addr.IP, err error)
+}
+
+// NewCluster builds the failover group: one active MC (which installs common
+// routing and starts journaling) plus cfg.Standbys passive standbys tailing
+// the journal over a ReplicationLag-delayed feed. Every member registers as
+// a controller host in the network, so chaos faults can kill and restart
+// controllers like any other element.
+func NewCluster(net *netsim.Network, cfg Config, ccfg ClusterConfig) (*Cluster, error) {
+	c := &Cluster{
+		Net:            net,
+		Cfg:            cfg.withDefaults(),
+		CCfg:           ccfg.withDefaults(),
+		Journal:        NewJournal(),
+		Counters:       metrics.NewCounters(),
+		active:         0,
+		needsReconcile: make(map[topo.NodeID]bool),
+	}
+	// Fixed registration order: reports render counters in first-Add order.
+	for _, name := range []string{
+		"heartbeats_sent", "heartbeats_missed", "takeovers",
+		"rules_reinstalled", "rules_stale_deleted", "request_retries",
+		"journal_appends", "journal_snapshots", "journal_records",
+	} {
+		c.Counters.Set(name, 0)
+	}
+
+	primary, err := NewMC(net, c.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	primary.journal = c.Journal
+	c.addMember(primary)
+	for i := 0; i < c.CCfg.Standbys; i++ {
+		sb, err := newMC(net, c.Cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		c.addMember(sb)
+	}
+
+	net.Notify(func(ev netsim.Event) {
+		switch ev.Kind {
+		case netsim.CtrlDown:
+			if m := c.memberByCtrl(ev.Port); m != nil {
+				c.memberCrashed(m)
+			}
+		case netsim.CtrlUp:
+			if m := c.memberByCtrl(ev.Port); m != nil {
+				c.memberRejoined(m)
+			}
+		case netsim.SwitchUp:
+			c.retryReconcile(ev.Node)
+		}
+	})
+
+	c.startBeating(c.members[0])
+	for _, m := range c.members[1:] {
+		c.startWatchdog(m)
+	}
+	return c, nil
+}
+
+// addMember registers one controller process with the cluster: a netsim
+// controller host (the chaos layer's kill handle), a journal follower (the
+// replication feed; the active skips its own records), and event relays so
+// cluster-level subscribers hear whichever member is acting.
+func (c *Cluster) addMember(mc *MC) {
+	m := &member{mc: mc, ctrlIdx: c.Net.RegisterCtrlHost(), role: roleStandby}
+	if len(c.members) == 0 {
+		m.role = roleActive
+	}
+	c.members = append(c.members, m)
+	c.Journal.Follow(func(r Record) {
+		if m.role != roleStandby {
+			return // the active wrote it; the dead rebuild by full replay
+		}
+		c.replicate(m, r)
+	})
+	mc.SubscribeRepair(func(ev RepairEvent) {
+		for _, fn := range c.repairSubs {
+			fn(ev)
+		}
+	})
+	mc.SubscribeChannelDown(func(id uint64, initiator addr.IP, err error) {
+		for _, fn := range c.downSubs {
+			fn(id, initiator, err)
+		}
+	})
+}
+
+func (c *Cluster) eng() *sim.Engine { return c.Net.Eng }
+
+// memberByCtrl maps a netsim controller-host index to its member.
+func (c *Cluster) memberByCtrl(idx int) *member {
+	for _, m := range c.members {
+		if m.ctrlIdx == idx {
+			return m
+		}
+	}
+	return nil
+}
+
+// memberIndex returns m's position in the cluster.
+func (c *Cluster) memberIndex(m *member) int {
+	for i, x := range c.members {
+		if x == m {
+			return i
+		}
+	}
+	return -1
+}
+
+// activeMember returns the acting member, or nil during a blackout.
+func (c *Cluster) activeMember() *member {
+	if c.active < 0 {
+		return nil
+	}
+	m := c.members[c.active]
+	if m.role != roleActive {
+		return nil
+	}
+	return m
+}
+
+// ActiveMC returns the acting controller, or nil during a blackout —
+// the window between the active's death and a standby's takeover.
+func (c *Cluster) ActiveMC() *MC {
+	if m := c.activeMember(); m != nil {
+		return m.mc
+	}
+	return nil
+}
+
+// MemberMC returns member i's controller (tests and harnesses).
+func (c *Cluster) MemberMC(i int) *MC { return c.members[i].mc }
+
+// ActiveIndex returns the acting member's index, or -1 during a blackout.
+func (c *Cluster) ActiveIndex() int {
+	if c.activeMember() == nil {
+		return -1
+	}
+	return c.active
+}
+
+// Takeovers reports how many takeovers have completed.
+func (c *Cluster) Takeovers() int { return int(c.takeovers) }
+
+// replicate ships one journal record to a standby: it arrives and is applied
+// one ReplicationLag later, in append order. Records still in flight when
+// the standby is promoted are drained synchronously by the takeover.
+func (c *Cluster) replicate(m *member, r Record) {
+	m.pending = append(m.pending, r)
+	c.eng().After(c.CCfg.ReplicationLag, func() {
+		if m.role != roleStandby || len(m.pending) == 0 {
+			return // drained by a takeover, or member died/promoted meanwhile
+		}
+		rec := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mc.applyRecord(rec)
+	})
+}
+
+// drain applies every in-flight journal record immediately — the promoted
+// standby must be caught up before it rebuilds counters and reconciles.
+func (c *Cluster) drain(m *member) {
+	for len(m.pending) > 0 {
+		rec := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mc.applyRecord(rec)
+	}
+}
+
+// startBeating runs the active's heartbeat ticker: every interval, one
+// unreliable one-way beat to every live peer over the management network. A
+// crashed active's channel is Down, so beats stop exactly when the process
+// dies — no cooperation from the corpse required.
+func (c *Cluster) startBeating(m *member) {
+	m.beatGen++
+	gen := m.beatGen
+	var tick func()
+	tick = func() {
+		if gen != m.beatGen || m.role != roleActive {
+			return
+		}
+		for _, other := range c.members {
+			if other == m || other.role == roleDead {
+				continue
+			}
+			other := other
+			c.Counters.Add("heartbeats_sent", 1)
+			m.mc.Ch.Heartbeat(func() {
+				if other.role == roleStandby {
+					other.lastBeat = c.eng().Now()
+				}
+			})
+		}
+		c.eng().After(c.CCfg.HeartbeatInterval, tick)
+	}
+	c.eng().After(c.CCfg.HeartbeatInterval, tick)
+}
+
+// startWatchdog runs a standby's death detector: every interval it checks
+// whether the last beat is overdue (1.5 intervals: one full period plus
+// latency slack). HeartbeatMisses consecutive overdue checks — a debounce
+// against individual beat losses — trigger the takeover.
+func (c *Cluster) startWatchdog(m *member) {
+	m.beatGen++
+	gen := m.beatGen
+	m.lastBeat = c.eng().Now()
+	m.missedRun = 0
+	var tick func()
+	tick = func() {
+		if gen != m.beatGen || m.role != roleStandby {
+			return
+		}
+		if c.eng().Now().Sub(m.lastBeat) > c.CCfg.HeartbeatInterval*3/2 {
+			m.missedRun++
+			c.Counters.Add("heartbeats_missed", 1)
+			if m.missedRun >= c.CCfg.HeartbeatMisses && c.takeover(m) {
+				return
+			}
+		} else {
+			m.missedRun = 0
+		}
+		c.eng().After(c.CCfg.HeartbeatInterval, tick)
+	}
+	c.eng().After(c.CCfg.HeartbeatInterval, tick)
+}
+
+// memberCrashed handles a controller-host death: the process stops cold
+// (channel silent, closures disarmed), and if it was the active, the cluster
+// enters a blackout that only a standby's watchdog can end.
+func (c *Cluster) memberCrashed(m *member) {
+	if m.role == roleDead {
+		return
+	}
+	wasActive := m.role == roleActive
+	m.role = roleDead
+	m.beatGen++ // cancel tickers
+	m.pending = nil
+	m.mc.crash()
+	if wasActive && c.active == c.memberIndex(m) {
+		c.active = -1
+	}
+}
+
+// memberRejoined restarts a dead controller as a fresh standby: empty state,
+// new southbound channel, full journal replay, watchdog armed. It does not
+// reclaim the active role — at most it becomes the next takeover's winner.
+func (c *Cluster) memberRejoined(m *member) {
+	if m.role != roleDead {
+		return
+	}
+	m.role = roleStandby
+	m.pending = nil
+	m.mc.revive()
+	for _, r := range c.Journal.Records() {
+		m.mc.applyRecord(r)
+	}
+	c.startWatchdog(m)
+}
+
+// takeover promotes standby m to active: drain the replication stream,
+// normalize counters from the journal, bump the controller generation (the
+// cookie field that marks the dead life's rules as stale), attach to the
+// fabric, reconcile every switch, then sweep for channels the blackout left
+// broken. Returns false when another live active exists — the watchdog
+// backs off and keeps watching.
+func (c *Cluster) takeover(m *member) bool {
+	if c.activeMember() != nil {
+		m.missedRun = 0
+		return false
+	}
+	c.takeovers++
+	c.Counters.Add("takeovers", 1)
+	c.drain(m)
+	mc := m.mc
+	mc.finishRestore(c.Journal)
+	mc.generation = c.takeovers
+	mc.journal = c.Journal
+	mc.activeCtrl = true
+	m.role = roleActive
+	c.active = c.memberIndex(m)
+	c.Net.SetController(mc)
+	if mc.Cfg.AutoRepair {
+		mc.enableAutoRepair()
+	}
+	c.startBeating(m)
+
+	stats := TakeoverStats{Member: c.active, Channels: len(mc.channels)}
+	if c.CCfg.DisableReconcile {
+		c.finishTakeover(m, stats)
+		return true
+	}
+	switches := c.Net.Switches()
+	remaining := len(switches)
+	if remaining == 0 {
+		c.finishTakeover(m, stats)
+		return true
+	}
+	for _, sw := range switches {
+		c.reconcileSwitch(m, sw, func(reinstalled, stale int) {
+			stats.Reinstalled += reinstalled
+			stats.StaleDeleted += stale
+			remaining--
+			if remaining == 0 {
+				c.finishTakeover(m, stats)
+			}
+		})
+	}
+	return true
+}
+
+// reconKey identifies one flow entry for reconciliation: the full match plus
+// priority and cookie. Two controller lives computing the same channel from
+// the same journal produce the same key; a dead life's stale epoch differs
+// in the cookie and is caught.
+type reconKey struct {
+	match    flowtable.Match
+	priority int
+	cookie   uint64
+}
+
+func entryReconKey(e *flowtable.Entry) reconKey {
+	return reconKey{match: e.Match, priority: e.Priority, cookie: e.Cookie}
+}
+
+// mflowCookie reports whether a cookie tags an m-flow rule. Proactive common
+// routing uses CookieCommon and default entries use zero; every m-flow
+// cookie is offset past both (see channelState.cookie).
+func mflowCookie(cookie uint64) bool { return cookie > ctrlplane.CookieCommon }
+
+// reconcileSwitch diffs one switch's dumped flow table against the rebuilt
+// intent and converges it: missing rules are reinstalled FIRST (an install
+// over the same match replaces in place, so a stale-epoch rule is upgraded
+// make-before-break and the m-flow never loses coverage), then surviving
+// stale-epoch rules are deleted by cookie, then a Barrier bounds the
+// transaction. onDone reports (reinstalled, staleDeleted) counts.
+func (c *Cluster) reconcileSwitch(m *member, sw *netsim.Switch, onDone func(reinstalled, stale int)) {
+	mc := m.mc
+	if sw.Down {
+		c.needsReconcile[sw.ID] = true
+		c.eng().After(0, func() { onDone(0, 0) })
+		return
+	}
+	mc.Ch.DumpFlows(sw, mc.gate3(func(entries []*flowtable.Entry, groups []flowtable.GroupID, ok bool) {
+		if !ok {
+			c.needsReconcile[sw.ID] = true
+			onDone(0, 0)
+			return
+		}
+		// Rebuild this switch's intent from the journal-restored channels,
+		// in sorted channel order so message order is deterministic.
+		intent := make(map[reconKey]*flowtable.Entry)
+		var intentOrder []reconKey
+		groupIntent := make(map[flowtable.GroupID]*flowtable.Group)
+		var groupOrder []flowtable.GroupID
+		for _, id := range sortedChanIDs(mc.channels) {
+			st := mc.channels[id]
+			for _, rr := range st.rules {
+				if rr.node != sw.ID {
+					continue
+				}
+				if rr.entry != nil {
+					k := entryReconKey(rr.entry)
+					if _, dup := intent[k]; !dup {
+						intentOrder = append(intentOrder, k)
+					}
+					intent[k] = rr.entry
+				}
+				if rr.group != nil {
+					if _, dup := groupIntent[rr.group.ID]; !dup {
+						groupOrder = append(groupOrder, rr.group.ID)
+					}
+					groupIntent[rr.group.ID] = rr.group
+				}
+			}
+		}
+		// Diff the dump: installed m-flow entries are either intended (keep)
+		// or stale (a dead life's leftover — collect its cookie for deletion).
+		have := make(map[reconKey]bool)
+		staleSeen := make(map[uint64]bool)
+		var staleCookies []uint64
+		for _, e := range entries {
+			if !mflowCookie(e.Cookie) {
+				continue // common routing is generation-invariant
+			}
+			k := entryReconKey(e)
+			if _, want := intent[k]; want {
+				have[k] = true
+				continue
+			}
+			if !staleSeen[e.Cookie] {
+				staleSeen[e.Cookie] = true
+				staleCookies = append(staleCookies, e.Cookie)
+			}
+		}
+		haveGroup := make(map[flowtable.GroupID]bool)
+		for _, gid := range groups {
+			haveGroup[gid] = true
+			if _, want := groupIntent[gid]; !want {
+				// Stale group: direct teardown, same idiom as CloseChannel.
+				sw.Table.DeleteGroup(gid)
+			}
+		}
+		var mods []ctrlplane.Mod
+		for _, gid := range groupOrder {
+			if !haveGroup[gid] {
+				mods = append(mods, ctrlplane.Mod{Switch: sw, Group: groupIntent[gid]})
+			}
+		}
+		for _, k := range intentOrder {
+			if !have[k] {
+				mods = append(mods, ctrlplane.Mod{Switch: sw, Entry: intent[k]})
+			}
+		}
+		reinstalled := len(mods)
+		staleDeleted := 0
+		// Installs are sent before deletes: messages apply in send order, so
+		// a same-match stale rule is replaced before its cookie delete lands.
+		mc.Ch.InstallAllResult(mods, mc.gateN(func(failed int) {
+			if failed > 0 {
+				c.needsReconcile[sw.ID] = true
+			}
+		}))
+		for _, cookie := range staleCookies {
+			mc.Ch.DeleteByCookie(sw, cookie, mc.gateN(func(removed int) {
+				if removed > 0 {
+					staleDeleted += removed
+				} else if removed < 0 {
+					c.needsReconcile[sw.ID] = true
+				}
+			}))
+		}
+		mc.Ch.Barrier(sw, mc.gateB(func(ok bool) {
+			if !ok {
+				c.needsReconcile[sw.ID] = true
+			}
+			c.Counters.Add("rules_reinstalled", uint64(reinstalled))
+			c.Counters.Add("rules_stale_deleted", uint64(staleDeleted))
+			onDone(reinstalled, staleDeleted)
+		}))
+	}))
+}
+
+// retryReconcile re-runs reconciliation for a switch whose takeover pass
+// could not complete, once it is back. No-op without a live active.
+func (c *Cluster) retryReconcile(node topo.NodeID) {
+	if !c.needsReconcile[node] {
+		return
+	}
+	m := c.activeMember()
+	if m == nil {
+		return // the next takeover reconciles everything anyway
+	}
+	delete(c.needsReconcile, node)
+	c.reconcileSwitch(m, c.Net.Switch(node), func(int, int) {})
+}
+
+// finishTakeover closes the loop on the blackout: any channel the dead
+// active never got to repair (its failure events and repair callbacks died
+// with it) is detected by a liveness sweep and queued through the normal
+// self-healing path. Then the takeover becomes observable.
+func (c *Cluster) finishTakeover(m *member, stats TakeoverStats) {
+	mc := m.mc
+	if mc.Cfg.AutoRepair {
+		for _, id := range sortedChanIDs(mc.channels) {
+			if !mc.channelAlive(mc.channels[id]) {
+				mc.scheduleRepair(id)
+			}
+		}
+	}
+	stats.At = c.eng().Now()
+	if c.OnTakeover != nil {
+		c.OnTakeover(stats)
+	}
+}
+
+// Audit omnisciently diffs every switch's installed flow table against the
+// acting controller's intent and returns the discrepancy counts: stale
+// m-flow entries no live channel wants, and intended entries not installed.
+// The failover acceptance bar is (0, 0) after reconciliation settles.
+func (c *Cluster) Audit() (stale, missing int) {
+	m := c.activeMember()
+	if m == nil {
+		return 0, 0
+	}
+	mc := m.mc
+	intent := make(map[topo.NodeID]map[reconKey]bool)
+	for _, id := range sortedChanIDs(mc.channels) {
+		st := mc.channels[id]
+		for _, rr := range st.rules {
+			if rr.entry == nil {
+				continue
+			}
+			set := intent[rr.node]
+			if set == nil {
+				set = make(map[reconKey]bool)
+				intent[rr.node] = set
+			}
+			set[entryReconKey(rr.entry)] = true
+		}
+	}
+	for _, sw := range c.Net.Switches() {
+		have := make(map[reconKey]bool)
+		for _, e := range sw.Table.Entries() {
+			if !mflowCookie(e.Cookie) {
+				continue
+			}
+			k := entryReconKey(e)
+			have[k] = true
+			if !intent[sw.ID][k] {
+				stale++
+			}
+		}
+		// lint:ignore detrange membership counting; result independent of order
+		for k := range intent[sw.ID] {
+			if !have[k] {
+				missing++
+			}
+		}
+	}
+	return stale, missing
+}
+
+// Telemetry folds journal statistics into the counters and returns them.
+func (c *Cluster) Telemetry() *metrics.Counters {
+	c.Counters.Set("journal_appends", c.Journal.Appends)
+	c.Counters.Set("journal_snapshots", c.Journal.Snapshots)
+	c.Counters.Set("journal_records", uint64(c.Journal.Len()))
+	return c.Counters
+}
+
+// Stop cancels every member's tickers and probers so a harness driving the
+// engine with Run() can reach quiescence.
+func (c *Cluster) Stop() {
+	for _, m := range c.members {
+		m.beatGen++
+		m.mc.StopProber()
+	}
+}
+
+// Engine implements ControlPlane.
+func (c *Cluster) Engine() *sim.Engine { return c.Net.Eng }
+
+// ClientSeed implements ControlPlane.
+func (c *Cluster) ClientSeed() uint64 { return c.Cfg.Seed }
+
+// SubscribeRepair implements ControlPlane: subscribers hear repair events
+// from whichever member is acting, across takeovers.
+func (c *Cluster) SubscribeRepair(fn func(RepairEvent)) {
+	c.repairSubs = append(c.repairSubs, fn)
+}
+
+// SubscribeChannelDown implements ControlPlane.
+func (c *Cluster) SubscribeChannelDown(fn func(id uint64, initiator addr.IP, err error)) {
+	c.downSubs = append(c.downSubs, fn)
+}
+
+// EstablishChannel implements ControlPlane with crash-retry: a request is
+// issued to the acting controller and re-issued after RequestTimeout if no
+// answer arrives — the controller may have died with the request in flight,
+// or the cluster may be in a takeover blackout. A late answer from a
+// superseded attempt is a duplicate channel and is closed, not delivered.
+func (c *Cluster) EstablishChannel(initiator addr.IP, target string, opts ChannelOptions, cb func(*ChannelInfo, error)) {
+	var attempt func(n int)
+	attempt = func(n int) {
+		m := c.activeMember()
+		if m == nil {
+			if n >= c.CCfg.RequestRetries {
+				c.eng().After(0, func() {
+					cb(nil, fmt.Errorf("mic: no active controller after %d request retries", n))
+				})
+				return
+			}
+			c.Counters.Add("request_retries", 1)
+			c.eng().After(c.CCfg.RequestTimeout, func() { attempt(n + 1) })
+			return
+		}
+		answered := false
+		m.mc.EstablishChannel(initiator, target, opts, func(info *ChannelInfo, err error) {
+			if answered {
+				// A retry superseded this attempt; its late success would be
+				// an unobserved duplicate — release it.
+				if err == nil && info != nil {
+					_ = c.CloseChannel(info.ID, nil)
+				}
+				return
+			}
+			answered = true
+			cb(info, err)
+		})
+		c.eng().After(c.CCfg.RequestTimeout, func() {
+			if answered {
+				return
+			}
+			answered = true
+			if n >= c.CCfg.RequestRetries {
+				cb(nil, fmt.Errorf("mic: channel request timed out after %d retries", n))
+				return
+			}
+			c.Counters.Add("request_retries", 1)
+			attempt(n + 1)
+		})
+	}
+	attempt(0)
+}
+
+// CloseChannel implements ControlPlane. Closes fail during a blackout; an
+// idle-closing client simply retries on its next idle tick.
+func (c *Cluster) CloseChannel(id uint64, cb func()) error {
+	m := c.activeMember()
+	if m == nil {
+		return fmt.Errorf("mic: no active controller")
+	}
+	return m.mc.CloseChannel(id, cb)
+}
+
+// gateN, gateB and gate3 are MC.gate for the callback shapes reconciliation
+// uses.
+func (mc *MC) gateN(fn func(int)) func(int) {
+	inc := mc.incarnation
+	return func(n int) {
+		if mc.down || inc != mc.incarnation {
+			return
+		}
+		fn(n)
+	}
+}
+
+func (mc *MC) gateB(fn func(bool)) func(bool) {
+	inc := mc.incarnation
+	return func(ok bool) {
+		if mc.down || inc != mc.incarnation {
+			return
+		}
+		fn(ok)
+	}
+}
+
+func (mc *MC) gate3(fn func([]*flowtable.Entry, []flowtable.GroupID, bool)) func([]*flowtable.Entry, []flowtable.GroupID, bool) {
+	inc := mc.incarnation
+	return func(entries []*flowtable.Entry, groups []flowtable.GroupID, ok bool) {
+		if mc.down || inc != mc.incarnation {
+			return
+		}
+		fn(entries, groups, ok)
+	}
+}
+
+// sortedChanIDs returns the channel IDs in ascending order, so every sweep
+// over the channel map is deterministic.
+func sortedChanIDs(chans map[uint64]*channelState) []uint64 {
+	ids := make([]uint64, 0, len(chans))
+	// lint:ignore detrange keys are collected then sorted immediately below
+	for id := range chans {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -34,22 +34,34 @@ type repairJob struct {
 }
 
 // enableAutoRepair subscribes the MC to fabric events and, when configured,
-// starts the control-plane liveness prober for silent failures.
+// starts the control-plane liveness prober for silent failures. Safe to call
+// again on reactivation (takeover after an earlier crash): the fabric
+// subscription registers once and gates on liveness; a fresh prober is
+// started only when none is running.
 func (mc *MC) enableAutoRepair() {
-	mc.Net.Notify(func(ev netsim.Event) {
-		switch ev.Kind {
-		case netsim.PortDown:
-			mc.failLink(linkKey{ev.Node, ev.Port})
-		case netsim.SwitchDown:
-			mc.failNode(ev.Node)
-		case netsim.SwitchUp:
-			mc.switchRestored(ev.Node)
-		case netsim.PortUp:
-			// Nothing to do: live channels were already rerouted, and the
-			// restored capacity is picked up by the next path selection.
-		}
-	})
-	if mc.Cfg.ProbeInterval > 0 {
+	if !mc.notifySubscribed {
+		mc.notifySubscribed = true
+		mc.Net.Notify(func(ev netsim.Event) {
+			if mc.down || !mc.activeCtrl {
+				// A dead controller hears nothing, and a revived ex-active
+				// demoted to standby must not run repairs; reconciliation
+				// catches up on the next takeover.
+				return
+			}
+			switch ev.Kind {
+			case netsim.PortDown:
+				mc.failLink(linkKey{ev.Node, ev.Port})
+			case netsim.SwitchDown:
+				mc.failNode(ev.Node)
+			case netsim.SwitchUp:
+				mc.switchRestored(ev.Node)
+			case netsim.PortUp:
+				// Nothing to do: live channels were already rerouted, and the
+				// restored capacity is picked up by the next path selection.
+			}
+		})
+	}
+	if mc.Cfg.ProbeInterval > 0 && mc.stopProber == nil {
 		mc.prober = ctrlplane.NewProber(mc.Ch, mc.Cfg.ProbeInterval)
 		mc.prober.OnDown = func(id topo.NodeID) { mc.failNode(id) }
 		mc.prober.OnUp = func(id topo.NodeID) { mc.switchRestored(id) }
@@ -129,7 +141,7 @@ func (mc *MC) scheduleRepair(id uint64) {
 	}
 	job := &repairJob{detectedAt: mc.Net.Eng.Now()}
 	mc.repairJobs[id] = job
-	mc.Net.Eng.After(mc.Ch.Latency, func() { mc.runRepair(id, job) })
+	mc.Net.Eng.After(mc.Ch.Latency, mc.gate(func() { mc.runRepair(id, job) }))
 }
 
 func (mc *MC) repairMaxRetries() int {
@@ -172,12 +184,12 @@ func (mc *MC) runRepair(id uint64, job *repairJob) {
 		return
 	}
 	job.attempts++
-	mc.RepairChannel(id, func(err error) {
+	mc.RepairChannel(id, mc.gateErr(func(err error) {
 		if job.dirty {
 			// Another failure hit mid-repair (possibly on the path we just
 			// installed). Re-verify immediately: the next runRepair picks a
 			// path disjoint from everything currently dead.
-			mc.Net.Eng.After(0, func() { mc.runRepair(id, job) })
+			mc.Net.Eng.After(0, mc.gate(func() { mc.runRepair(id, job) }))
 			return
 		}
 		if err == nil {
@@ -188,8 +200,8 @@ func (mc *MC) runRepair(id uint64, job *repairJob) {
 			mc.settleRepair(id, job, err)
 			return
 		}
-		mc.Net.Eng.After(mc.repairBackoff(job.attempts), func() { mc.runRepair(id, job) })
-	})
+		mc.Net.Eng.After(mc.repairBackoff(job.attempts), mc.gate(func() { mc.runRepair(id, job) }))
+	}))
 }
 
 // settleRepair finishes a job. A terminal error tears the channel down and

@@ -195,9 +195,11 @@ type channelState struct {
 	initiator addr.IP
 	opts      ChannelOptions
 	epoch     uint32 // bumped per repair; part of the rule cookie
+	gen       uint32 // controller generation that installed the current epoch
 	flowIDs   []uint32
 	switches  map[topo.NodeID]bool // where rules were installed
 	groups    []groupRef           // partial-multicast groups to clean up
+	rules     []ruleRec            // current epoch's intended rules, per switch
 	entries   []addr.IP
 	finals    []addr.IP
 	res       []flowRes     // per-flow durable resources (survive repairs)
@@ -219,6 +221,16 @@ type flowRes struct {
 type groupRef struct {
 	node topo.NodeID
 	id   flowtable.GroupID
+}
+
+// ruleRec records one intended rule of a channel's current epoch: a flow
+// entry and/or a group on one switch. It is the unit of journaling,
+// takeover reconciliation and the failover audit — the MC's "intent" for
+// what the switch should hold.
+type ruleRec struct {
+	node  topo.NodeID
+	entry *flowtable.Entry // may be nil (group-only record)
+	group *flowtable.Group // may be nil
 }
 
 // linkKey identifies a directed link for load accounting.
@@ -251,6 +263,36 @@ type MC struct {
 	channels  map[uint64]*channelState
 	nextChan  uint64
 	nextGroup uint32
+
+	// journal, when non-nil, receives a record for every externally visible
+	// mutation (channel open/repair/close, hidden-service registration) so a
+	// standby controller can rebuild this MC's state by replay (failover.go).
+	// A standalone MC runs with no journal and pays nothing.
+	journal *Journal
+
+	// down marks a crashed controller process: request handling, packet-ins
+	// and failure reactions all stop. incarnation bumps on every crash and
+	// restart; closures left on the engine by an earlier life check it (gate)
+	// so they never act on state a later life rebuilt.
+	down        bool
+	incarnation uint64
+
+	// activeCtrl marks this MC as the fabric's acting controller. Standbys
+	// and revived ex-actives are alive but passive: they replay the journal
+	// and must not react to fabric events or run repairs until a takeover
+	// promotes them.
+	activeCtrl bool
+
+	// generation counts controller lives over the fabric (bumped per
+	// takeover). It is folded into rule cookies, so the rules installed by a
+	// dead primary are distinguishable from the new active's — the "cookie
+	// epoch" that reconciliation keys stale-rule deletion on.
+	generation uint32
+
+	// notifySubscribed dedupes fabric-event subscription across repeated
+	// activations (takeover after an earlier crash): netsim listeners cannot
+	// be removed, so the MC registers once and gates on liveness instead.
+	notifySubscribed bool
 
 	// entryInUse reserves (endpoint, fake peer IP) pairs so two channels
 	// never share an untagged endpoint tuple — the paper's "unique match
@@ -314,6 +356,14 @@ type MC struct {
 // every switch, picks the common-flow class and label, installs proactive
 // common routing, and attaches itself as the fabric's packet-in handler.
 func NewMC(net *netsim.Network, cfg Config) (*MC, error) {
+	return newMC(net, cfg, false)
+}
+
+// newMC is NewMC with a passive mode: a passive (standby) controller derives
+// the full MAGA keying — Config.Seed guarantees it matches the active's —
+// but does not install routing, attach as packet-in handler, or self-heal.
+// It stays inert until a takeover activates it.
+func newMC(net *netsim.Network, cfg Config, passive bool) (*MC, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Widths.Validate(); err != nil {
 		return nil, err
@@ -366,16 +416,110 @@ func NewMC(net *netsim.Network, cfg Config) (*MC, error) {
 	cfGen := maga.NewGenerator(cfParams, mc.cid, mc.rng.Stream("common-gen"))
 	mc.CFLabel = cfGen.Label(0, 0, 0)
 
+	mc.reach = computeReachability(net.Graph)
+	mc.activeCtrl = !passive
+	if passive {
+		return mc, nil
+	}
 	router := &ctrlplane.ProactiveRouter{CFLabel: mc.CFLabel}
 	if _, err := router.Install(net); err != nil {
 		return nil, err
 	}
-	mc.reach = computeReachability(net.Graph)
 	net.SetController(mc)
 	if cfg.AutoRepair {
 		mc.enableAutoRepair()
 	}
 	return mc, nil
+}
+
+// Engine returns the discrete-event engine the MC runs on (ControlPlane).
+func (mc *MC) Engine() *sim.Engine { return mc.Net.Eng }
+
+// ClientSeed returns the seed clients mix into their own RNG streams
+// (ControlPlane).
+func (mc *MC) ClientSeed() uint64 { return mc.Cfg.Seed }
+
+// gate wraps fn so it runs only while the MC is alive in the same
+// incarnation that scheduled it. Engine closures left behind by a crashed
+// controller (request handlers, repair retries) must not act after a
+// restart rebuilds the very state they captured.
+func (mc *MC) gate(fn func()) func() {
+	inc := mc.incarnation
+	return func() {
+		if mc.down || inc != mc.incarnation {
+			return
+		}
+		fn()
+	}
+}
+
+// gateErr is gate for error-carrying callbacks.
+func (mc *MC) gateErr(fn func(error)) func(error) {
+	inc := mc.incarnation
+	return func(err error) {
+		if mc.down || inc != mc.incarnation {
+			return
+		}
+		fn(err)
+	}
+}
+
+// crash kills the controller process: the southbound channel goes silent
+// mid-transaction, the prober stops, and every scheduled closure from this
+// life is disarmed. Switch state is untouched — installed rules keep
+// forwarding, which is what makes failover survivable for in-flight flows.
+func (mc *MC) crash() {
+	if mc.down {
+		return
+	}
+	mc.down = true
+	mc.activeCtrl = false
+	mc.incarnation++
+	mc.Ch.Down = true
+	mc.StopProber()
+}
+
+// revive restarts a crashed controller process with empty state: a fresh
+// southbound channel (the old one died with the process; closures scheduled
+// by the previous life still reference it and must stay dead) and blank
+// bookkeeping, ready for journal replay. The incarnation bump disarms any
+// closure the previous life left on the engine. The revived MC stays
+// passive — a restarted controller rejoins as a standby; only a takeover
+// makes it active again.
+func (mc *MC) revive() {
+	if !mc.down {
+		return
+	}
+	mc.down = false
+	mc.incarnation++
+	old := mc.Ch
+	mc.Ch = ctrlplane.NewChannel(mc.Net)
+	mc.Ch.Latency = old.Latency
+	mc.Ch.LossRate = old.LossRate
+	// Decorrelate the new process's loss pattern from the dead one's.
+	mc.Ch.LossSeed = old.LossSeed ^ (mc.incarnation * 0x9e3779b97f4a7c15)
+	mc.Ch.AckTimeout = old.AckTimeout
+	mc.Ch.MaxRetries = old.MaxRetries
+	mc.Ch.MaxBackoff = old.MaxBackoff
+	mc.resetState()
+}
+
+// resetState clears every piece of channel bookkeeping — a restarted process
+// remembers nothing; the journal is the only source of truth it rebuilds
+// from. MAGA keying, S_IDs and reachability are untouched: they are derived
+// from Config.Seed and the topology, identical across lives by construction.
+func (mc *MC) resetState() {
+	mc.flowIDs = newIDAllocator(mc.flowIDs.lo, mc.flowIDs.hi)
+	mc.hidden = make(map[string]addr.IP)
+	mc.channels = make(map[uint64]*channelState)
+	mc.entryInUse = make(map[[2]addr.IP]bool)
+	mc.linkLoad = make(map[linkKey]int)
+	mc.linkChannels = make(map[linkKey]map[uint64]bool)
+	mc.nodeChannels = make(map[topo.NodeID]map[uint64]bool)
+	mc.repairJobs = make(map[uint64]*repairJob)
+	mc.staleCookies = make(map[topo.NodeID][]uint64)
+	mc.nextChan = uint64(mc.Cfg.InstanceID) << 32
+	mc.nextGroup = mc.Cfg.InstanceID << 24
 }
 
 // SubscribeRepair adds a listener for completed self-healing jobs. Unlike
@@ -415,6 +559,9 @@ func (mc *MC) emitChannelDown(id uint64, initiator addr.IP, err error) {
 // partial-multicast decoys and die silently (the paper's "dropped at the
 // next hop"); anything else is an unexpected miss, counted for diagnosis.
 func (mc *MC) PacketIn(sw *netsim.Switch, inPort int, p *packet.Packet) {
+	if mc.down {
+		return
+	}
 	if l, ok := p.TopMPLS(); ok && l != mc.CFLabel {
 		mc.DecoysDropped++
 		return
@@ -432,6 +579,7 @@ func (mc *MC) RegisterHiddenService(name string, ip addr.IP) error {
 		return fmt.Errorf("mic: hidden service %q names unknown host %v", name, ip)
 	}
 	mc.hidden[name] = ip
+	mc.journalHidden(name, ip)
 	return nil
 }
 
@@ -480,3 +628,26 @@ func (a *idAllocator) alloc() (uint32, error) {
 func (a *idAllocator) release(id uint32) { a.free = append(a.free, id) }
 
 func (a *idAllocator) inUse() int { return int(a.next-a.lo) - len(a.free) }
+
+// restore rebuilds allocator state after journal replay: next becomes the
+// journaled high-water mark and the free list every ID below it not held by
+// a live channel, in ascending order. Replay cannot re-run the original
+// alloc/release interleaving — failed setups allocated and released IDs
+// without journaling, permuting the LIFO free list — so the free list is
+// normalized instead. Deterministic, and collision-free by construction:
+// every live ID is excluded from both the free list and the next counter.
+func (a *idAllocator) restore(next uint32, inUse map[uint32]bool) {
+	if next < a.lo {
+		next = a.lo
+	}
+	if next > a.hi {
+		next = a.hi
+	}
+	a.next = next
+	a.free = a.free[:0]
+	for id := a.lo; id < next; id++ {
+		if !inUse[id] {
+			a.free = append(a.free, id)
+		}
+	}
+}

@@ -63,9 +63,12 @@ func (t tuple) match() flowtable.Match {
 func (mc *MC) EstablishChannel(initiator addr.IP, target string, opts ChannelOptions, cb func(*ChannelInfo, error)) {
 	mc.Requests++
 	opts = opts.withDefaults(mc.Cfg)
-	// Request packet: sealed by the client, opened by the MC.
+	// Request packet: sealed by the client, opened by the MC. Both handling
+	// steps are gated on controller liveness: a request in flight when the MC
+	// dies simply vanishes, like any message to a dead process, and the
+	// caller's retry layer (Cluster) re-issues it to the new active.
 	mc.Net.CPU.Charge("crypto", 2*mc.Cfg.RequestCryptoCost)
-	mc.Net.Eng.After(mc.Cfg.RequestLatency, func() {
+	mc.Net.Eng.After(mc.Cfg.RequestLatency, mc.gate(func() {
 		info, mods, err := mc.computeChannel(initiator, target, opts)
 		if err != nil {
 			mc.Net.Eng.After(mc.Cfg.RequestLatency, func() { cb(nil, err) })
@@ -73,10 +76,10 @@ func (mc *MC) EstablishChannel(initiator addr.IP, target string, opts ChannelOpt
 		}
 		// Acknowledgement: sealed by the MC, opened by the client.
 		mc.Net.CPU.Charge("crypto", 2*mc.Cfg.RequestCryptoCost)
-		mc.Ch.InstallAll(mods, func() {
+		mc.Ch.InstallAll(mods, mc.gate(func() {
 			mc.Net.Eng.After(mc.Cfg.RequestLatency, func() { cb(info, nil) })
-		})
-	})
+		}))
+	}))
 }
 
 // computeChannel performs the MC's routing calculation synchronously and
@@ -104,6 +107,7 @@ func (mc *MC) computeChannel(initiator addr.IP, target string, opts ChannelOptio
 		id:        id,
 		initiator: initiator,
 		opts:      opts,
+		gen:       mc.generation,
 		switches:  make(map[topo.NodeID]bool),
 	}
 	info := &ChannelInfo{ID: id, Responder: respIP}
@@ -132,6 +136,10 @@ func (mc *MC) computeChannel(initiator addr.IP, target string, opts ChannelOptio
 	}
 	st.info = info
 	mc.channels[id] = st
+	// Journal the channel as intent before any rule lands: after a crash the
+	// standby reconciles switches against intent, so a partially installed
+	// channel is completed, never half-forgotten.
+	mc.journalOpen(st)
 	return info, mods, nil
 }
 
@@ -254,6 +262,7 @@ func (mc *MC) computeFlow(st *channelState, info *ChannelInfo, initNode topo.Nod
 			st.switches[node] = true
 			st.groups = append(st.groups, groupRef{node: node, id: grp.ID})
 		}
+		st.rules = append(st.rules, ruleRec{node: node, entry: e2, group: grp})
 		mods = append(mods, ctrlplane.Mod{Switch: mc.Net.Switch(node), Entry: e2, Group: grp})
 	}
 
@@ -553,10 +562,14 @@ func (mc *MC) RepairChannel(id uint64, cb func(error)) {
 	newSwitches := make(map[topo.NodeID]bool)
 	oldSwitches := st.switches
 	oldCookie := st.cookie(id)
+	oldGen := st.gen
 	st.switches = newSwitches
 	oldGroups := st.groups
 	st.groups = nil
+	oldRules := st.rules
+	st.rules = nil
 	st.epoch++
+	st.gen = mc.generation
 	mc.releaseLoad(st)
 	var mods []ctrlplane.Mod
 	for i := range st.res {
@@ -564,7 +577,9 @@ func (mc *MC) RepairChannel(id uint64, cb func(error)) {
 		if err != nil {
 			st.switches = oldSwitches
 			st.groups = oldGroups
+			st.rules = oldRules
 			st.epoch--
+			st.gen = oldGen
 			mc.Net.Eng.After(0, func() { cb(err) })
 			return
 		}
@@ -579,6 +594,7 @@ func (mc *MC) RepairChannel(id uint64, cb func(error)) {
 	// Update the existing ChannelInfo in place: clients hold a pointer to
 	// it, so they observe the repaired paths without a new round trip.
 	*st.info = *newInfo
+	mc.journalUpdate(st)
 	newGroupIDs := make(map[groupRef]bool, len(st.groups))
 	for _, gr := range st.groups {
 		newGroupIDs[gr] = true
@@ -663,9 +679,12 @@ func (mc *MC) reserveFake(endpoint addr.IP, pool []addr.IP) (addr.IP, error) {
 // priority) are replaced in place and survive the old epoch's deletion,
 // leaving no window in which m-flow traffic can leak into common routing.
 // Cookie layout: low 40 bits channel (offset past ctrlplane.CookieCommon),
-// high bits epoch.
+// then 16 bits repair epoch, then 8 bits controller generation — so rules
+// installed by a controller life that has since been replaced are
+// identifiable by cookie alone, the handle takeover reconciliation and
+// stale-rule purging key on.
 func (st *channelState) cookie(id uint64) uint64 {
-	return (id + 2) | uint64(st.epoch)<<40
+	return (id + 2) | uint64(st.epoch&0xffff)<<40 | uint64(st.gen&0xff)<<56
 }
 
 // CloseChannel tears down a channel: deletes its rules everywhere, frees
@@ -677,6 +696,7 @@ func (mc *MC) CloseChannel(id uint64, cb func()) error {
 		return fmt.Errorf("mic: unknown channel %d", id)
 	}
 	delete(mc.channels, id)
+	mc.journalClose(id)
 	mc.releaseLoad(st)
 	for _, fid := range st.flowIDs {
 		mc.flowIDs.release(fid)

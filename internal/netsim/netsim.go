@@ -161,6 +161,8 @@ const (
 	PortUp
 	SwitchDown
 	SwitchUp
+	CtrlDown
+	CtrlUp
 )
 
 // String names the event kind.
@@ -174,6 +176,10 @@ func (k EventKind) String() string {
 		return "switch-down"
 	case SwitchUp:
 		return "switch-up"
+	case CtrlDown:
+		return "ctrl-down"
+	case CtrlUp:
+		return "ctrl-up"
 	}
 	return "unknown"
 }
@@ -181,7 +187,10 @@ func (k EventKind) String() string {
 // Event is one fabric state-change notification: the substitute for
 // OpenFlow OFPT_PORT_STATUS and controller connection loss. Port events
 // carry the (Node, Port) whose effective liveness changed; switch events
-// carry the node only (Port is -1).
+// carry the node only (Port is -1). Controller-host events carry the
+// controller-host index in Port and -1 in Node: controllers live off-fabric
+// (an out-of-band management network, as in OpenFlow deployments), so they
+// have no topology node.
 type Event struct {
 	Kind EventKind
 	Node topo.NodeID
@@ -248,6 +257,7 @@ type Network struct {
 	taps      map[topo.NodeID][]Tap
 	listeners []Listener
 	faultSeed uint64
+	ctrlHosts []bool // down flag per registered controller host
 
 	// pool recycles data-plane packets. Per network (not global) because
 	// the harness runs independent engines on parallel goroutines.
@@ -351,6 +361,40 @@ func (n *Network) SetController(ctrl Controller) {
 	for _, sw := range n.switches {
 		sw.Ctrl = ctrl
 	}
+}
+
+// RegisterCtrlHost allocates a controller-host slot and returns its index.
+// Controller hosts model the machines a controller process runs on: they sit
+// on the management network, not the data fabric, so crashing one does not
+// darken any link. Fault injectors fail them with SetCtrlHostDown.
+func (n *Network) RegisterCtrlHost() int {
+	n.ctrlHosts = append(n.ctrlHosts, false)
+	return len(n.ctrlHosts) - 1
+}
+
+// SetCtrlHostDown crashes or restarts the controller host at idx. Listeners
+// receive a CtrlDown/CtrlUp event (index in Port, Node -1) if the liveness
+// flipped; the controller runtime bound to the host reacts by going silent
+// or rejoining.
+func (n *Network) SetCtrlHostDown(idx int, down bool) {
+	if idx < 0 || idx >= len(n.ctrlHosts) || n.ctrlHosts[idx] == down {
+		return
+	}
+	n.ctrlHosts[idx] = down
+	kind := CtrlUp
+	if down {
+		kind = CtrlDown
+	}
+	n.emit(kind, -1, idx)
+}
+
+// CtrlHostDown reports whether the controller host at idx is crashed.
+// Unregistered indices read as down: there is no machine there to run on.
+func (n *Network) CtrlHostDown(idx int) bool {
+	if idx < 0 || idx >= len(n.ctrlHosts) {
+		return true
+	}
+	return n.ctrlHosts[idx]
 }
 
 // AddTap mirrors all traffic of a node to fn.
