@@ -123,6 +123,12 @@ var scenarios = []scenarioSpec{
 		why:  "controller failover lives in the MC cluster",
 		run:  mckillReport,
 	},
+	{
+		name: "storm",
+		doc:  "setup storm: Poisson dial burst at 4x the admission rate into capacity-bounded flow tables",
+		why:  "admission control and graceful degradation live in the MC",
+		run:  stormReport,
+	},
 }
 
 // scenarioByName finds a registered scenario, or nil.
@@ -467,5 +473,54 @@ func mckillReport(w io.Writer, secure bool, from, to, mns, mflows, fanout, size 
 	stale, missing := cl.Audit()
 	fmt.Fprintf(w, "flow-table audit: stale=%d missing=%d\n", stale, missing)
 	fmt.Fprint(w, cl.Telemetry().String())
+	return nil
+}
+
+// stormReport plays a seeded setup storm — Poisson dial arrivals at 4x the
+// MC's admission rate, from eight initiator hosts into capacity-bounded
+// flow tables — and reports how the overload layer held up: every dial's
+// outcome (full-F, degraded-F, typed refusal, timeout), dial-latency p99,
+// steady-state goodput of the streams that were admitted, and the MC's
+// admission telemetry. -from/-to are ignored (the storm picks its own host
+// pairs); each admitted stream sends size/128 bytes (clamped to [4 KiB,
+// 1 MiB]) so the default -size stays tractable across ~100 admitted dials.
+// Everything it prints is a function of its arguments — the determinism
+// test in main_test.go runs it twice and asserts byte-identical output.
+func stormReport(w io.Writer, secure bool, from, to, mns, mflows, fanout, size int, seed uint64) error {
+	pay := size / 128
+	if pay < 4<<10 {
+		pay = 4 << 10
+	}
+	if pay > 1<<20 {
+		pay = 1 << 20
+	}
+	if mflows < 2 {
+		mflows = 4 // the degradation ladder needs headroom below the request
+	}
+	admission := mic.AdmissionConfig{
+		Enabled: true, Rate: 1000, Burst: 8,
+		QueueLimit: 32, QueueDeadline: 10 * time.Millisecond,
+		EvictIdle: true, SwitchRuleBudget: 24,
+	}
+	opts := harness.StormOptions{
+		Seed: seed, Rate: 4 * admission.Rate,
+		MFlows: mflows, MNs: mns, Fanout: fanout, Secure: secure,
+		Payload: pay, Admission: admission,
+	}
+	res, err := harness.RunStorm(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "setup storm (seed %d): %d dials offered at %.0f/s, admission rate %.0f/s, table capacity %d\n",
+		seed, res.Dials, opts.Rate, admission.Rate, 48)
+	fmt.Fprintf(w, "outcomes: ok=%d degraded=%d refused=%d timed-out=%d failed=%d (answered %d/%d)\n",
+		res.OK, res.Degraded, res.Refused, res.TimedOut, res.Failed, res.Answered, res.Dials)
+	if res.Answered != res.Dials {
+		return fmt.Errorf("micsim: %d dials silently dropped", res.Dials-res.Answered)
+	}
+	fmt.Fprintf(w, "client retries: %d, p99 dial latency: %.3f ms, achieved F: %.2f of %d requested\n",
+		res.Retries, res.P99DialMs, res.AchievedF, mflows)
+	fmt.Fprintf(w, "steady-state goodput_mbps: %.1f\n", res.GoodputMbps)
+	fmt.Fprint(w, res.Counters.String())
 	return nil
 }

@@ -11,6 +11,7 @@
 package ctrlplane
 
 import (
+	"errors"
 	"time"
 
 	"mic/internal/flowtable"
@@ -19,6 +20,12 @@ import (
 	"mic/internal/sim"
 	"mic/internal/topo"
 )
+
+// ErrUnacked is reported by FlowModErr when a message exhausted its retry
+// budget with no acknowledgement — the controller cannot know whether the
+// rule landed. Distinct from a negative acknowledgement like
+// flowtable.ErrTableFull, where the switch answered and refused.
+var ErrUnacked = errors.New("ctrlplane: message unacknowledged after retries")
 
 // Channel is the controller's handle to the fabric's switches.
 //
@@ -78,6 +85,7 @@ type Channel struct {
 	Timeouts    uint64 // ack timers that expired
 	GiveUps     uint64 // messages abandoned after MaxRetries
 	Acked       uint64 // messages positively acknowledged
+	TableFulls  uint64 // FlowMods the switch refused with a table-full reply
 
 	lossRNG  *sim.RNG
 	inflight map[topo.NodeID]int      // unresolved messages per switch
@@ -257,10 +265,42 @@ func (c *Channel) FlowMod(sw *netsim.Switch, e *flowtable.Entry, onApplied func(
 }
 
 // FlowModResult installs e on sw and reports whether the switch
-// acknowledged it.
+// acknowledged AND accepted it — a table-full refusal counts as failure,
+// because the rule is not installed.
 func (c *Channel) FlowModResult(sw *netsim.Switch, e *flowtable.Entry, onDone func(ok bool)) {
+	c.FlowModErr(sw, e, func(err error) {
+		if onDone != nil {
+			onDone(err == nil)
+		}
+	})
+}
+
+// FlowModErr installs e on sw and reports the outcome as an error: nil when
+// the entry was installed and acknowledged; flowtable.ErrTableFull when the
+// switch answered but refused the entry (a negative acknowledgement — the
+// OpenFlow OFPFMFC_TABLE_FULL error reply); ErrUnacked when the retry budget
+// ran out with no answer at all. Retransmits re-apply idempotently: once an
+// attempt installs the entry, later attempts take the replace path and the
+// captured error stays nil.
+func (c *Channel) FlowModErr(sw *netsim.Switch, e *flowtable.Entry, onDone func(err error)) {
 	c.FlowMods++
-	c.deliver(sw, func() { sw.Table.Insert(e, c.Eng.Now()) }, onDone)
+	var insErr error
+	c.deliver(sw, func() {
+		insErr = sw.Table.TryInsert(e, c.Eng.Now())
+	}, func(ok bool) {
+		if !ok {
+			if onDone != nil {
+				onDone(ErrUnacked)
+			}
+			return
+		}
+		if insErr != nil {
+			c.TableFulls++
+		}
+		if onDone != nil {
+			onDone(insErr)
+		}
+	})
 }
 
 // GroupMod installs g on sw; onApplied fires after the acknowledgement.

@@ -44,6 +44,17 @@ type ProactiveRouter struct {
 func (r *ProactiveRouter) Install(net *netsim.Network) (int, error) {
 	g := net.Graph
 	installed := 0
+	// Common routing is the baseline the fabric cannot run without: a
+	// capacity too small for it is a configuration error, surfaced here
+	// rather than silently dropped rules.
+	install := func(sw *netsim.Switch, e *flowtable.Entry) error {
+		if err := sw.Table.TryInsert(e, net.Eng.Now()); err != nil {
+			return fmt.Errorf("ctrlplane: common routing overflows switch %s (capacity %d): %w",
+				sw.Name, sw.Table.Capacity, err)
+		}
+		installed++
+		return nil
+	}
 	for _, hid := range g.Hosts() {
 		h := g.Node(hid)
 		next, err := nextHops(g, hid)
@@ -57,34 +68,40 @@ func (r *ProactiveRouter) Install(net *netsim.Network) (int, error) {
 				continue // unreachable from this switch
 			}
 			attached := g.Node(sid).Ports[out].Peer == hid
+			var untagged, tagged *flowtable.Entry
 			if attached {
-				sw.Table.Insert(&flowtable.Entry{
+				untagged = &flowtable.Entry{
 					Priority: PriorityCommonUntagged,
 					Cookie:   CookieCommon,
 					Match:    flowtable.Match{Mask: flowtable.MatchNoMPLS | flowtable.MatchIPDst, IPDst: h.IP},
 					Actions:  []flowtable.Action{flowtable.SetEthDst(h.MAC), flowtable.Output(out)},
-				}, net.Eng.Now())
-				sw.Table.Insert(&flowtable.Entry{
+				}
+				tagged = &flowtable.Entry{
 					Priority: PriorityCommonTagged,
 					Cookie:   CookieCommon,
 					Match:    flowtable.Match{Mask: flowtable.MatchMPLS | flowtable.MatchIPDst, MPLS: r.CFLabel, IPDst: h.IP},
 					Actions:  []flowtable.Action{flowtable.PopMPLS{}, flowtable.SetEthDst(h.MAC), flowtable.Output(out)},
-				}, net.Eng.Now())
+				}
 			} else {
-				sw.Table.Insert(&flowtable.Entry{
+				untagged = &flowtable.Entry{
 					Priority: PriorityCommonUntagged,
 					Cookie:   CookieCommon,
 					Match:    flowtable.Match{Mask: flowtable.MatchNoMPLS | flowtable.MatchIPDst, IPDst: h.IP},
 					Actions:  []flowtable.Action{flowtable.PushMPLS(r.CFLabel), flowtable.Output(out)},
-				}, net.Eng.Now())
-				sw.Table.Insert(&flowtable.Entry{
+				}
+				tagged = &flowtable.Entry{
 					Priority: PriorityCommonTagged,
 					Cookie:   CookieCommon,
 					Match:    flowtable.Match{Mask: flowtable.MatchMPLS | flowtable.MatchIPDst, MPLS: r.CFLabel, IPDst: h.IP},
 					Actions:  []flowtable.Action{flowtable.Output(out)},
-				}, net.Eng.Now())
+				}
 			}
-			installed += 2
+			if err := install(sw, untagged); err != nil {
+				return installed, err
+			}
+			if err := install(sw, tagged); err != nil {
+				return installed, err
+			}
 		}
 	}
 	return installed, nil

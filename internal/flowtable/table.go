@@ -1,6 +1,7 @@
 package flowtable
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -9,6 +10,47 @@ import (
 	"mic/internal/packet"
 	"mic/internal/sim"
 )
+
+// ErrTableFull is returned by TryInsert when the table is at Capacity and
+// the eviction policy cannot make room for a new entry.
+var ErrTableFull = errors.New("flowtable: table full")
+
+// EvictPolicy selects what happens when an insert finds the table at
+// Capacity. Real TCAMs deny new entries; software switches sometimes evict.
+type EvictPolicy int
+
+const (
+	// EvictDeny refuses the new entry (the default, TCAM semantics).
+	EvictDeny EvictPolicy = iota
+	// EvictLRU removes the least-recently-used Evictable entry to make
+	// room, ties broken by lowest insertion sequence. Entries not marked
+	// Evictable (common routing) are never victims.
+	EvictLRU
+)
+
+// EvictReason says why an entry left the table without an explicit delete.
+type EvictReason int
+
+const (
+	// EvictIdle: the entry's IdleTimeout elapsed without traffic.
+	EvictIdle EvictReason = iota
+	// EvictHard: the entry's HardTimeout elapsed since installation.
+	EvictHard
+	// EvictCapacity: the entry was displaced by an insert under EvictLRU.
+	EvictCapacity
+)
+
+func (r EvictReason) String() string {
+	switch r {
+	case EvictIdle:
+		return "idle"
+	case EvictHard:
+		return "hard"
+	case EvictCapacity:
+		return "capacity"
+	}
+	return "unknown"
+}
 
 // Entry is one installed flow rule.
 type Entry struct {
@@ -19,6 +61,11 @@ type Entry struct {
 	// Cookie tags the owner (the MC uses one cookie per m-flow) so related
 	// rules can be deleted together.
 	Cookie uint64
+
+	// Evictable opts the entry into capacity eviction under EvictLRU.
+	// Common routing rules leave it false so load never displaces the
+	// baseline fabric.
+	Evictable bool
 
 	// IdleTimeout evicts the entry when unused for that long; HardTimeout
 	// evicts it unconditionally after installation. Zero disables.
@@ -93,6 +140,23 @@ type Table struct {
 	// CPU model charges differently.
 	CacheHits   uint64
 	CacheMisses uint64
+
+	// Capacity bounds the number of installed flow entries (the TCAM
+	// model); zero keeps the table unbounded. Replacing an existing entry
+	// never counts against capacity. The group table is not bounded.
+	Capacity int
+
+	// Policy selects the at-capacity behaviour for new entries.
+	Policy EvictPolicy
+
+	// OnEvict, when non-nil, observes every timeout or capacity eviction
+	// (not explicit deletes) after the entry has left the table.
+	OnEvict func(e *Entry, reason EvictReason)
+
+	// Per-reason eviction counters.
+	EvictedIdle     uint64
+	EvictedHard     uint64
+	EvictedCapacity uint64
 }
 
 // NewTable returns an empty table.
@@ -141,16 +205,22 @@ func (t *Table) indexOf(e *Entry) int {
 	return -1
 }
 
-// Insert installs an entry at time now. Installing an entry whose match and
-// priority exactly equal an existing entry's replaces it in place (OpenFlow
-// semantics; the replacement inherits the old entry's position in the match
-// order). Insertion is O(log n + shift) into the already-sorted slice — no
-// re-sort per FlowMod.
+// Insert installs an entry at time now, ignoring capacity refusals — the
+// legacy unbounded-table API. Callers that set Capacity should use TryInsert
+// so a refused entry is an error, not a silent drop.
 func (t *Table) Insert(e *Entry, now sim.Time) {
-	e.Installed = now
-	e.LastUsed = now
-	t.invalidate()
+	_ = t.TryInsert(e, now)
+}
 
+// TryInsert installs an entry at time now. Installing an entry whose match
+// and priority exactly equal an existing entry's replaces it in place
+// (OpenFlow semantics; the replacement inherits the old entry's position in
+// the match order) and never counts against capacity. A genuinely new entry
+// against a full table either displaces an LRU victim (Policy==EvictLRU and
+// some entry is Evictable) or fails with ErrTableFull, leaving the table —
+// and the microflow cache generation — untouched. Insertion is
+// O(log n + shift) into the already-sorted slice — no re-sort per FlowMod.
+func (t *Table) TryInsert(e *Entry, now sim.Time) error {
 	norm := e.Match.normalized()
 	st := t.subtableFor(norm.Mask)
 	bucket := st.buckets[norm]
@@ -158,15 +228,29 @@ func (t *Table) Insert(e *Entry, now sim.Time) {
 		if old.Priority == e.Priority {
 			// Replace: same match, same priority. Within a bucket matches
 			// are Equal by construction, so priorities are unique.
+			e.Installed = now
+			e.LastUsed = now
 			e.seq = old.seq
+			t.invalidate()
 			bucket[i] = e
 			if j := t.indexOf(old); j >= 0 {
 				t.entries[j] = e
 			}
-			return
+			return nil
 		}
 	}
 
+	if t.Capacity > 0 && len(t.entries) >= t.Capacity {
+		if t.Policy != EvictLRU || !t.evictLRU() {
+			return ErrTableFull
+		}
+		// The victim may have shared e's bucket; re-fetch.
+		bucket = st.buckets[norm]
+	}
+
+	e.Installed = now
+	e.LastUsed = now
+	t.invalidate()
 	t.seq++
 	e.seq = t.seq
 
@@ -184,6 +268,39 @@ func (t *Table) Insert(e *Entry, now sim.Time) {
 	t.entries = append(t.entries, nil)
 	copy(t.entries[i+1:], t.entries[i:])
 	t.entries[i] = e
+	return nil
+}
+
+// evictLRU removes the least-recently-used Evictable entry (ties broken by
+// lowest seq, so the scan is deterministic) and reports whether a victim was
+// found. The removal bumps the cache generation: a cached hit on the victim
+// must miss afterwards.
+func (t *Table) evictLRU() bool {
+	var victim *Entry
+	for _, e := range t.entries {
+		if !e.Evictable {
+			continue
+		}
+		if victim == nil || e.LastUsed < victim.LastUsed ||
+			(e.LastUsed == victim.LastUsed && e.seq < victim.seq) {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	if i := t.indexOf(victim); i >= 0 {
+		copy(t.entries[i:], t.entries[i+1:])
+		t.entries[len(t.entries)-1] = nil
+		t.entries = t.entries[:len(t.entries)-1]
+	}
+	t.removeFromIndex(victim)
+	t.invalidate()
+	t.EvictedCapacity++
+	if t.OnEvict != nil {
+		t.OnEvict(victim, EvictCapacity)
+	}
+	return true
 }
 
 // microKeyOf projects the packet onto the microflow cache key.
@@ -309,15 +426,24 @@ func (t *Table) DeleteByCookie(cookie uint64) int {
 }
 
 // Expire evicts entries whose idle or hard timeout has elapsed by now, and
-// returns the evicted entries.
+// returns the evicted entries. Hard expiry wins the per-reason counter when
+// both timeouts have lapsed (the entry was doomed regardless of traffic).
 func (t *Table) Expire(now sim.Time) []*Entry {
 	var evicted []*Entry
+	var reasons []EvictReason
 	kept := t.entries[:0]
 	for _, e := range t.entries {
 		idle := e.IdleTimeout > 0 && now.Sub(e.LastUsed) >= e.IdleTimeout
 		hard := e.HardTimeout > 0 && now.Sub(e.Installed) >= e.HardTimeout
 		if idle || hard {
 			evicted = append(evicted, e)
+			if hard {
+				t.EvictedHard++
+				reasons = append(reasons, EvictHard)
+			} else {
+				t.EvictedIdle++
+				reasons = append(reasons, EvictIdle)
+			}
 			t.removeFromIndex(e)
 		} else {
 			kept = append(kept, e)
@@ -329,6 +455,11 @@ func (t *Table) Expire(now sim.Time) []*Entry {
 	t.entries = kept
 	if len(evicted) > 0 {
 		t.invalidate()
+	}
+	if t.OnEvict != nil {
+		for i, e := range evicted {
+			t.OnEvict(e, reasons[i])
+		}
 	}
 	return evicted
 }

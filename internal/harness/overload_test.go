@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"mic/internal/mic"
+)
+
+// stormAdmission is the acceptance-test admission config: the same shape as
+// fig s9 — token bucket at 1000 dials/s, bounded queue, LRU eviction, and a
+// per-switch rule budget that over-subscribes the physical table space so
+// the eviction machinery engages.
+func stormAdmission() mic.AdmissionConfig {
+	return mic.AdmissionConfig{
+		Enabled: true, Rate: 1000, Burst: 8,
+		QueueLimit: 32, QueueDeadline: 10 * time.Millisecond,
+		EvictIdle: true, SwitchRuleBudget: 24,
+	}
+}
+
+// TestStormAcceptance is the issue's acceptance bar: a seeded setup storm
+// at 4x the sustainable dial rate against capacity-bounded tables must
+// reach steady state with zero silently-dropped requests, a refusal rate
+// below 100% (degraded-F admissions occur), and goodput of admitted
+// channels within 20% of an unloaded baseline.
+func TestStormAcceptance(t *testing.T) {
+	adm := stormAdmission()
+	r, err := RunStorm(StormOptions{Seed: 7, Rate: 4 * adm.Rate, Admission: adm})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero silent drops: every scheduled dial's callback fired.
+	if r.Answered != r.Dials {
+		t.Fatalf("%d of %d dials never answered", r.Dials-r.Answered, r.Dials)
+	}
+	// A handful of untyped failures are tolerated: a connect whose SYN is
+	// in flight when its rule is LRU-evicted can leak to common routing and
+	// be reset — the known race window of capacity eviction. They are
+	// answered, never silent, and must stay rare.
+	if r.Failed > r.Dials/20 {
+		t.Fatalf("%d of %d dials failed with untyped errors (first: %s)", r.Failed, r.Dials, r.FirstFailure)
+	}
+	if rr := r.RefusalRate(); rr >= 1 {
+		t.Fatalf("refusal rate %.2f: nothing admitted at 4x overload", rr)
+	}
+	if r.Degraded == 0 {
+		t.Error("no degraded-F admissions: the degradation ladder never engaged")
+	}
+	if r.Counters.Get("mflow_rules_evicted") == 0 {
+		t.Error("no capacity evictions: tables never came under pressure")
+	}
+
+	// Goodput of admitted channels within 20% of an unloaded baseline (a
+	// single dial on the same fabric and admission config).
+	base, err := RunStorm(StormOptions{Seed: 7, Rate: 4 * adm.Rate, MaxDials: 1, Admission: adm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.GoodputMbps <= 0 || r.GoodputMbps <= 0 {
+		t.Fatalf("goodput missing: storm %.1f, baseline %.1f", r.GoodputMbps, base.GoodputMbps)
+	}
+	if r.GoodputMbps < 0.8*base.GoodputMbps {
+		t.Errorf("admitted goodput %.1f Mbps under load, below 80%% of unloaded %.1f Mbps",
+			r.GoodputMbps, base.GoodputMbps)
+	}
+}
+
+// TestStormShedOffAblationWorse: with load shedding disabled the queue
+// grows without bound and queued dials wait forever — the client's setup
+// deadline fires instead of a prompt typed refusal, so timeouts replace
+// refusals and p99 dial latency degrades.
+func TestStormShedOffAblationWorse(t *testing.T) {
+	adm := stormAdmission()
+	on, err := RunStorm(StormOptions{Seed: 7, Rate: 4 * adm.Rate, Admission: adm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admOff := stormAdmission()
+	admOff.DisableShed = true
+	off, err := RunStorm(StormOptions{Seed: 7, Rate: 4 * adm.Rate, Admission: admOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Answered != off.Dials {
+		t.Fatalf("shed-off run dropped %d dials silently", off.Dials-off.Answered)
+	}
+	// Without shedding the queue grows without bound and dials wait for
+	// tokens instead of hearing a prompt typed refusal: the client retry
+	// layer eventually pushes most of them through, but dial latency
+	// explodes — the metric the ablation is about.
+	if off.P99DialMs < 2*on.P99DialMs {
+		t.Errorf("shed-off p99 dial latency %.1fms, not measurably worse than shedding's %.1fms",
+			off.P99DialMs, on.P99DialMs)
+	}
+}
+
+// TestStormDeterministic: two same-seed runs produce identical results —
+// every counter, every latency percentile, every goodput figure.
+func TestStormDeterministic(t *testing.T) {
+	adm := stormAdmission()
+	opts := StormOptions{Seed: 7, Rate: 4 * adm.Rate, Admission: adm}
+	a, err := RunStorm(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStorm(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters.String() != b.Counters.String() {
+		t.Errorf("telemetry differs:\n%s\nvs\n%s", a.Counters, b.Counters)
+	}
+	ac, bc := *a, *b
+	ac.Counters, bc.Counters = nil, nil
+	if ac != bc {
+		t.Errorf("results differ:\n%+v\nvs\n%+v", ac, bc)
+	}
+}

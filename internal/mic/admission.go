@@ -1,0 +1,500 @@
+package mic
+
+// This file is the MC's overload-protection layer: a token bucket on
+// channel-open requests, a bounded queue with deadline-based load shedding,
+// per-switch rule budgets tracked against the journal, and the graceful
+// degradation ladder (F -> F-1 -> ... -> refuse). Like the rest of the
+// package it is part of the determinism contract (lint:deterministic via the
+// package doc): the only randomness is the clients' seeded retry jitter, and
+// every queue or budget scan walks slices or sorted key sets.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mic/internal/addr"
+	"mic/internal/flowtable"
+	"mic/internal/metrics"
+	"mic/internal/netsim"
+	"mic/internal/packet"
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+// ErrOverloaded is the MC's typed refusal: the request was received and
+// answered, but the controller or the fabric's flow tables cannot take the
+// channel right now. Clients treat it as retryable. Every refusal wraps this
+// sentinel, so errors.Is(err, ErrOverloaded) classifies them all.
+var ErrOverloaded = errors.New("mic: controller overloaded")
+
+// Admission-control defaults, applied when AdmissionConfig.Enabled.
+const (
+	DefaultAdmitRate     = 2000.0 // channel opens per second
+	DefaultAdmitBurst    = 8
+	DefaultQueueLimit    = 64
+	DefaultQueueDeadline = 20 * time.Millisecond
+	DefaultMinFlows      = 1
+)
+
+// AdmissionConfig tunes the MC's overload protection. The zero value keeps
+// every limiter off — the seed behaviour.
+type AdmissionConfig struct {
+	// Enabled turns the layer on. All other fields are ignored while false.
+	Enabled bool
+
+	// Rate is the token-bucket refill rate in channel-open requests per
+	// second; Burst is its capacity. Requests beyond the bucket wait in a
+	// bounded FIFO queue.
+	Rate  float64
+	Burst int
+
+	// QueueLimit bounds the request queue; arrivals past it are refused
+	// immediately with ErrOverloaded. QueueDeadline sheds queued requests
+	// that waited longer than this — stale requests are answered with
+	// ErrOverloaded, never silently dropped.
+	QueueLimit    int
+	QueueDeadline time.Duration
+
+	// SwitchRuleBudget caps the m-flow rule entries the MC will intend per
+	// switch. Zero derives the budget from the switch's table Capacity
+	// minus its common-routing baseline (unlimited when tables are
+	// unbounded).
+	SwitchRuleBudget int
+
+	// MinFlows is the floor of the degradation ladder: a dial is admitted
+	// with fewer m-flows down to this many before it is refused outright.
+	MinFlows int
+
+	// DisableDegrade refuses a dial the moment its full F does not fit
+	// (ablation: no degradation ladder).
+	DisableDegrade bool
+
+	// DisableShed removes the queue bound and the deadline (ablation: the
+	// queue grows without limit and requests wait forever).
+	DisableShed bool
+
+	// EvictIdle opts every switch into LRU capacity eviction of m-flow
+	// rules (flowtable.EvictLRU) while this MC is active. Evicted rules
+	// remain the MC's intent: a table miss on one is answered by reinstall
+	// plus packet-out, so eviction costs a controller round trip, not a
+	// lost flow.
+	EvictIdle bool
+}
+
+func (a AdmissionConfig) withDefaults() AdmissionConfig {
+	if !a.Enabled {
+		return a
+	}
+	if a.Rate == 0 {
+		a.Rate = DefaultAdmitRate
+	}
+	if a.Burst == 0 {
+		a.Burst = DefaultAdmitBurst
+	}
+	if a.QueueLimit == 0 {
+		a.QueueLimit = DefaultQueueLimit
+	}
+	if a.QueueDeadline == 0 {
+		a.QueueDeadline = DefaultQueueDeadline
+	}
+	if a.MinFlows == 0 {
+		a.MinFlows = DefaultMinFlows
+	}
+	return a
+}
+
+// admitReq is one channel-open request waiting for a token.
+type admitReq struct {
+	at     sim.Time
+	run    func()
+	refuse func(error)
+	done   bool // answered: granted a token or shed
+}
+
+// admit passes run through the token bucket, or parks it in the bounded
+// queue, or refuses it. Exactly one of run / refuse eventually fires (within
+// this controller incarnation): the zero-silent-drop guarantee under
+// overload.
+func (mc *MC) admit(run func(), refuse func(error)) {
+	a := mc.Cfg.Admission
+	if !a.Enabled {
+		run()
+		return
+	}
+	mc.refillTokens()
+	if len(mc.admitQueue) == 0 && mc.admitTokens >= 1 {
+		mc.admitTokens--
+		mc.RequestsAdmitted++
+		run()
+		return
+	}
+	if !a.DisableShed && len(mc.admitQueue) >= a.QueueLimit {
+		mc.RequestsShed++
+		refuse(fmt.Errorf("mic: admission queue full (%d waiting): %w", len(mc.admitQueue), ErrOverloaded))
+		return
+	}
+	req := &admitReq{at: mc.Net.Eng.Now(), run: run, refuse: refuse}
+	mc.admitQueue = append(mc.admitQueue, req)
+	mc.RequestsQueued++
+	if n := uint64(len(mc.admitQueue)); n > mc.QueuePeak {
+		mc.QueuePeak = n
+	}
+	if !a.DisableShed {
+		mc.Net.Eng.After(a.QueueDeadline, mc.gate(func() { mc.shedStale(req) }))
+	}
+	mc.scheduleDrain()
+}
+
+// refillTokens accrues bucket tokens for the time elapsed since the last
+// accrual, capped at Burst.
+func (mc *MC) refillTokens() {
+	now := mc.Net.Eng.Now()
+	dt := now.Sub(mc.admitLast)
+	mc.admitLast = now
+	if dt <= 0 {
+		return
+	}
+	mc.admitTokens += dt.Seconds() * mc.Cfg.Admission.Rate
+	if cap := float64(mc.Cfg.Admission.Burst); mc.admitTokens > cap {
+		mc.admitTokens = cap
+	}
+}
+
+// scheduleDrain arms one timer for the instant the next token accrues.
+func (mc *MC) scheduleDrain() {
+	if mc.drainArmed || len(mc.admitQueue) == 0 {
+		return
+	}
+	need := 1 - mc.admitTokens
+	if need < 0 {
+		need = 0
+	}
+	wait := time.Duration(need / mc.Cfg.Admission.Rate * float64(time.Second))
+	if wait <= 0 {
+		wait = time.Microsecond
+	}
+	mc.drainArmed = true
+	mc.Net.Eng.After(wait, mc.gate(func() {
+		mc.drainArmed = false
+		mc.drainQueue()
+	}))
+}
+
+// drainQueue grants tokens to queued requests in FIFO order.
+func (mc *MC) drainQueue() {
+	mc.refillTokens()
+	for len(mc.admitQueue) > 0 && mc.admitTokens >= 1 {
+		req := mc.admitQueue[0]
+		mc.admitQueue = mc.admitQueue[1:]
+		if req.done {
+			continue
+		}
+		req.done = true
+		mc.admitTokens--
+		mc.RequestsAdmitted++
+		req.run()
+	}
+	mc.scheduleDrain()
+}
+
+// shedStale answers a queued request that outlived its deadline. The request
+// is refused with a typed error — the client hears back, always.
+func (mc *MC) shedStale(req *admitReq) {
+	if req.done {
+		return
+	}
+	req.done = true
+	for i, r := range mc.admitQueue {
+		if r == req {
+			copy(mc.admitQueue[i:], mc.admitQueue[i+1:])
+			mc.admitQueue[len(mc.admitQueue)-1] = nil
+			mc.admitQueue = mc.admitQueue[:len(mc.admitQueue)-1]
+			break
+		}
+	}
+	mc.RequestsShed++
+	waited := mc.Net.Eng.Now().Sub(req.at)
+	req.refuse(fmt.Errorf("mic: request shed after queueing %v (deadline %v): %w",
+		waited, mc.Cfg.Admission.QueueDeadline, ErrOverloaded))
+}
+
+// resetAdmission clears the limiter state on crash/restart. Queued requests
+// from the dead life are already disarmed by the incarnation gate; their
+// callers' retry layer re-issues them, like any request in flight to a dead
+// process.
+func (mc *MC) resetAdmission() {
+	mc.admitTokens = float64(mc.Cfg.Admission.Burst) // restart with a full bucket
+	mc.admitLast = mc.Net.Eng.Now()
+	mc.admitQueue = nil
+	mc.drainArmed = false
+	mc.ruleCount = make(map[topo.NodeID]int)
+	mc.commonBase = make(map[topo.NodeID]int)
+}
+
+// ruleBudget returns the switch's m-flow entry budget: the configured
+// SwitchRuleBudget, or table Capacity minus the common-routing baseline when
+// a capacity is set. Zero means unlimited.
+func (mc *MC) ruleBudget(node topo.NodeID) int {
+	a := mc.Cfg.Admission
+	if a.SwitchRuleBudget > 0 {
+		return a.SwitchRuleBudget
+	}
+	tbl := mc.Net.Switch(node).Table
+	if tbl.Capacity <= 0 {
+		return 0
+	}
+	base, ok := mc.commonBase[node]
+	if !ok {
+		// The common baseline never changes after router install; count the
+		// non-m-flow entries once and cache it.
+		for _, e := range tbl.Entries() {
+			if !mflowCookie(e.Cookie) {
+				base++
+			}
+		}
+		mc.commonBase[node] = base
+	}
+	b := tbl.Capacity - base
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// flowOverBudget reports whether intending the given rules would push any
+// switch past its budget. Only entry-bearing records count: groups live in
+// the unbounded group table.
+func (mc *MC) flowOverBudget(rules []ruleRec) (topo.NodeID, bool) {
+	if !mc.Cfg.Admission.Enabled {
+		return 0, false
+	}
+	delta := make(map[topo.NodeID]int)
+	var order []topo.NodeID
+	for _, rr := range rules {
+		if rr.entry == nil {
+			continue
+		}
+		if _, seen := delta[rr.node]; !seen {
+			order = append(order, rr.node)
+		}
+		delta[rr.node]++
+	}
+	for _, node := range order {
+		if b := mc.ruleBudget(node); b > 0 && mc.ruleCount[node]+delta[node] > b {
+			return node, true
+		}
+	}
+	return 0, false
+}
+
+// chargeIntent and releaseIntent maintain the per-switch count of intended
+// m-flow rule entries. They are called on every path that adds or removes
+// rules from channel state — live serving AND journal replay — so a promoted
+// standby's accounting matches the dead active's exactly.
+func (mc *MC) chargeIntent(rules []ruleRec) {
+	for _, rr := range rules {
+		if rr.entry != nil {
+			mc.ruleCount[rr.node]++
+		}
+	}
+}
+
+func (mc *MC) releaseIntent(rules []ruleRec) {
+	for _, rr := range rules {
+		if rr.entry != nil && mc.ruleCount[rr.node] > 0 {
+			mc.ruleCount[rr.node]--
+		}
+	}
+}
+
+// flowSnap captures the channel-state high-water marks before one
+// computeFlow call, so a flow that does not fit can be unwound exactly.
+type flowSnap struct {
+	mods, rules, flowIDs, entries, finals, res, links, nodes, groups int
+}
+
+func snapFlow(st *channelState, mods int) flowSnap {
+	return flowSnap{
+		mods: mods, rules: len(st.rules), flowIDs: len(st.flowIDs),
+		entries: len(st.entries), finals: len(st.finals), res: len(st.res),
+		links: len(st.links), nodes: len(st.nodes), groups: len(st.groups),
+	}
+}
+
+// unwindFlow rolls back everything one computeFlow call appended past the
+// snapshot: allocated flow IDs, address reservations, link/node load and
+// failure indexes, rules and groups. Group IDs consumed by the flow are
+// simply skipped, and st.switches is rebuilt from the surviving rules.
+func (mc *MC) unwindFlow(st *channelState, respIP addr.IP, snap flowSnap) {
+	for _, fid := range st.flowIDs[snap.flowIDs:] {
+		mc.flowIDs.release(fid)
+	}
+	st.flowIDs = st.flowIDs[:snap.flowIDs]
+	for _, e := range st.entries[snap.entries:] {
+		delete(mc.entryInUse, [2]addr.IP{st.initiator, e})
+	}
+	st.entries = st.entries[:snap.entries]
+	for _, f := range st.finals[snap.finals:] {
+		delete(mc.entryInUse, [2]addr.IP{respIP, f})
+	}
+	st.finals = st.finals[:snap.finals]
+	st.res = st.res[:snap.res]
+
+	keepLinks := make(map[linkKey]bool, snap.links)
+	for _, lk := range st.links[:snap.links] {
+		keepLinks[lk] = true
+	}
+	for _, lk := range st.links[snap.links:] {
+		if mc.linkLoad[lk] > 0 {
+			mc.linkLoad[lk]--
+		}
+		if !keepLinks[lk] {
+			if set := mc.linkChannels[lk]; set != nil {
+				delete(set, st.id)
+				if len(set) == 0 {
+					delete(mc.linkChannels, lk)
+				}
+			}
+		}
+	}
+	st.links = st.links[:snap.links]
+
+	keepNodes := make(map[topo.NodeID]bool, snap.nodes)
+	for _, n := range st.nodes[:snap.nodes] {
+		keepNodes[n] = true
+	}
+	for _, n := range st.nodes[snap.nodes:] {
+		if !keepNodes[n] {
+			if set := mc.nodeChannels[n]; set != nil {
+				delete(set, st.id)
+				if len(set) == 0 {
+					delete(mc.nodeChannels, n)
+				}
+			}
+		}
+	}
+	st.nodes = st.nodes[:snap.nodes]
+
+	st.rules = st.rules[:snap.rules]
+	st.groups = st.groups[:snap.groups]
+	st.switches = make(map[topo.NodeID]bool)
+	for _, rr := range st.rules {
+		st.switches[rr.node] = true
+	}
+}
+
+// armEviction opts every switch into MC-coordinated LRU eviction when
+// EvictIdle is configured; called on activation (initial or takeover). The
+// hook only counts m-flow victims — common rules are never Evictable.
+func (mc *MC) armEviction() {
+	if !mc.Cfg.Admission.EvictIdle {
+		return
+	}
+	for _, sw := range mc.Net.Switches() {
+		sw.Table.Policy = flowtable.EvictLRU
+		sw.Table.OnEvict = func(e *flowtable.Entry, reason flowtable.EvictReason) {
+			if reason == flowtable.EvictCapacity && mflowCookie(e.Cookie) {
+				mc.RulesEvicted++
+			}
+		}
+	}
+}
+
+// reinstallOnMiss answers a table miss on an intended-but-evicted m-flow
+// rule: reinstall the rule and packet-out the packet with its actions, so a
+// capacity eviction costs one controller round trip instead of a lost flow.
+// Returns false when no intended rule covers the packet (a genuine decoy or
+// stray).
+func (mc *MC) reinstallOnMiss(sw *netsim.Switch, inPort int, p *packet.Packet) bool {
+	for _, id := range sortedIDSet(mc.nodeChannels[sw.ID]) {
+		st, ok := mc.channels[id]
+		if !ok {
+			continue
+		}
+		for _, rr := range st.rules {
+			if rr.node != sw.ID || rr.entry == nil {
+				continue
+			}
+			if !rr.entry.Match.Covers(p, inPort) {
+				continue
+			}
+			mc.MissReinstalls++
+			if len(rr.entry.Actions) > 0 {
+				mc.Ch.PacketOut(sw, rr.entry.Actions, p.Clone())
+			}
+			mc.Ch.FlowMod(sw, rr.entry, nil)
+			return true
+		}
+	}
+	return false
+}
+
+// maybeRestoreDegraded runs after capacity is released (a channel close):
+// the oldest degraded channel gets one m-flow back, restoring F gradually as
+// pressure clears. The repair event it emits drives the existing client
+// health machinery to probe and rebalance onto the new flow.
+func (mc *MC) maybeRestoreDegraded() {
+	a := mc.Cfg.Admission
+	if !a.Enabled || a.DisableDegrade || !mc.activeCtrl {
+		return
+	}
+	for _, id := range sortedChanIDs(mc.channels) {
+		st := mc.channels[id]
+		if len(st.info.Flows) >= st.opts.MFlows {
+			continue
+		}
+		if mc.upgradeChannel(st) {
+			return // one flow per release event: restore gently, no stampede
+		}
+	}
+}
+
+// upgradeChannel tries to add one m-flow back to a degraded channel.
+func (mc *MC) upgradeChannel(st *channelState) bool {
+	initHost := mc.Net.Graph.HostByIP(st.initiator)
+	if initHost == nil {
+		return false
+	}
+	respIP := st.info.Responder
+	detectedAt := mc.Net.Eng.Now()
+	snap := snapFlow(st, 0)
+	flowMods, flowInfo, err := mc.computeFlow(st, st.info, initHost.ID, respIP, st.opts, nil)
+	if err != nil {
+		mc.unwindFlow(st, respIP, snap)
+		return false
+	}
+	if _, over := mc.flowOverBudget(st.rules[snap.rules:]); over {
+		mc.unwindFlow(st, respIP, snap)
+		return false
+	}
+	mc.chargeIntent(st.rules[snap.rules:])
+	// Clients hold a pointer to st.info: the restored flow appears in place,
+	// and the repair event below makes their streams re-probe it.
+	st.info.Flows = append(st.info.Flows, flowInfo)
+	mc.FlowsRestored++
+	mc.journalUpdate(st)
+	mc.Ch.InstallAll(flowMods, mc.gate(func() {
+		mc.emitRepair(RepairEvent{
+			Channel: st.id, DetectedAt: detectedAt, CompletedAt: mc.Net.Eng.Now(), Attempts: 1,
+		})
+	}))
+	return true
+}
+
+// Telemetry returns the MC's admission/overload counters in fixed
+// registration order, so rendered output is byte-stable across runs.
+func (mc *MC) Telemetry() *metrics.Counters {
+	c := metrics.NewCounters()
+	c.Set("dials_admitted", mc.RequestsAdmitted)
+	c.Set("dials_queued", mc.RequestsQueued)
+	c.Set("dials_shed", mc.RequestsShed)
+	c.Set("queue_peak", mc.QueuePeak)
+	c.Set("channels_degraded", mc.ChannelsDegraded)
+	c.Set("channels_refused", mc.ChannelsRefused)
+	c.Set("flows_restored", mc.FlowsRestored)
+	c.Set("mflow_rules_evicted", mc.RulesEvicted)
+	c.Set("miss_reinstalls", mc.MissReinstalls)
+	c.Set("table_full_replies", mc.Ch.TableFulls)
+	return c
+}

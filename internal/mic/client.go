@@ -2,6 +2,7 @@ package mic
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -14,6 +15,20 @@ import (
 // m-flow handshakes) when Client.SetupTimeout is zero. Generous against
 // worst-case transport SYN retries, tiny against a hang.
 const DefaultSetupTimeout = 2 * time.Second
+
+// DefaultDialRetries is how many times Dial re-attempts after a retryable
+// failure (MC overload or setup timeout) when Client.DialRetries is zero.
+const DefaultDialRetries = 3
+
+// DefaultRetryBackoff is the base dial-retry delay when Client.RetryBackoff
+// is zero. Attempt n waits base<<n, capped at 8x base, scaled by seeded
+// jitter in [0.5, 1.5) so colliding clients de-synchronize.
+const DefaultRetryBackoff = 2 * time.Millisecond
+
+// ErrSetupTimeout marks a dial that missed its setup deadline. Wrapped in
+// the error Dial reports, so errors.Is(err, ErrSetupTimeout) classifies it;
+// it is one of the two retryable dial failures (the other is ErrOverloaded).
+var ErrSetupTimeout = errors.New("setup deadline exceeded")
 
 // ControlPlane is the client's handle to whatever answers channel requests:
 // a single MC, or a failover Cluster fronting an active controller and its
@@ -52,11 +67,30 @@ type Client struct {
 	// a descriptive error instead of hanging forever.
 	SetupTimeout time.Duration
 
+	// DialRetries caps automatic re-dials after a retryable failure
+	// (ErrOverloaded from MC admission control, or setup timeout). Zero
+	// means DefaultDialRetries; negative disables retry entirely.
+	DialRetries int
+
+	// RetryBackoff is the base retry delay (zero = DefaultRetryBackoff).
+	RetryBackoff time.Duration
+
+	// DialRetryCount tallies automatic re-dial attempts, for telemetry.
+	DialRetryCount uint64
+
 	rng      *sim.RNG
 	channels map[string]*cachedChannel
-	pending  map[string][]func(*ChannelInfo, error)
+	pending  map[string][]*chanWaiter
 	streams  map[uint64][]*Stream // live streams by channel ID, in open order
 	notifier uint64               // generation counter; bumping cancels the running notifier
+}
+
+// chanWaiter is one dial waiting on channel establishment. canceled is set
+// when that dial's setup deadline fires, so a late establishment reply
+// skips the waiter instead of resurrecting an abandoned dial.
+type chanWaiter struct {
+	fn       func(*ChannelInfo, error)
+	canceled bool
 }
 
 // cachedChannel tracks reuse for the idle notifier.
@@ -71,12 +105,20 @@ type cachedChannel struct {
 // channel loss fails the affected streams with a clean error (and evicts
 // the dead channel from the reuse cache) instead of leaving them to hang.
 func NewClient(stack *transport.Stack, mc ControlPlane) *Client {
+	return NewClientSeeded(stack, mc, 0)
+}
+
+// NewClientSeeded is NewClient with an extra RNG salt. Use it when one host
+// runs several independent clients (load-generation harnesses): clients on
+// the same host otherwise share an RNG seed, and their identical stream
+// tokens would collide at the listener.
+func NewClientSeeded(stack *transport.Stack, mc ControlPlane, salt uint64) *Client {
 	c := &Client{
 		Stack:    stack,
 		MC:       mc,
-		rng:      sim.NewRNG(uint64(stack.Host.IP) ^ mc.ClientSeed() ^ 0x5ac1e5),
+		rng:      sim.NewRNG(uint64(stack.Host.IP) ^ mc.ClientSeed() ^ 0x5ac1e5 ^ salt*0x9e3779b97f4a7c15),
 		channels: make(map[string]*cachedChannel),
-		pending:  make(map[string][]func(*ChannelInfo, error)),
+		pending:  make(map[string][]*chanWaiter),
 		streams:  make(map[uint64][]*Stream),
 	}
 	mc.SubscribeChannelDown(func(id uint64, _ addr.IP, err error) { c.channelDown(id, err) })
@@ -111,20 +153,74 @@ func (c *Client) channelDown(id uint64, err error) {
 // Dial opens an anonymous stream to target (hidden-service name or IP
 // string) on the given port. The callback fires when the stream is ready:
 // channel established (or reused) and all m-flow connections handshaken.
-// If setup has not completed within SetupTimeout the callback fires once
-// with an error instead.
+// If setup has not completed within SetupTimeout the attempt fails; on a
+// retryable failure (MC overload, setup timeout) Dial re-attempts up to
+// DialRetries times with jittered exponential backoff before reporting the
+// final error. The callback fires exactly once either way.
 func (c *Client) Dial(target string, port uint16, cb func(*Stream, error)) {
+	retries := c.DialRetries
+	if retries == 0 {
+		retries = DefaultDialRetries
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	var attempt func(n int)
+	attempt = func(n int) {
+		c.dialOnce(target, port, func(s *Stream, err error) {
+			if err != nil && n < retries && retryableDial(err) {
+				c.DialRetryCount++
+				c.MC.Engine().After(c.retryDelay(n), func() { attempt(n + 1) })
+				return
+			}
+			cb(s, err)
+		})
+	}
+	attempt(0)
+}
+
+// retryableDial reports whether a dial failure is worth re-attempting:
+// overload is explicitly transient (the MC says "later"), and a setup
+// timeout usually means a storm ate the request or a handshake stalled.
+func retryableDial(err error) bool {
+	return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrSetupTimeout)
+}
+
+// retryDelay computes the wait before retry attempt n+1: capped exponential
+// backoff with seeded jitter — the deterministic analogue of randomized
+// backoff, so colliding clients de-synchronize without wall-clock RNG.
+func (c *Client) retryDelay(n int) time.Duration {
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	d := base << n
+	if lim := 8 * base; d > lim {
+		d = lim
+	}
+	return time.Duration(float64(d) * (0.5 + c.rng.Float64()))
+}
+
+// dialOnce is one dial attempt under one setup deadline. When the deadline
+// fires it cancels the attempt's in-flight state — the channel waiter and
+// any half-done m-flow handshakes — so a late MC reply or connect cannot
+// register a channel or stream nobody is waiting for.
+func (c *Client) dialOnce(target string, port uint16, cb func(*Stream, error)) {
 	timeout := c.SetupTimeout
 	if timeout <= 0 {
 		timeout = DefaultSetupTimeout
 	}
 	settled := false
+	canceled := false
+	w := &chanWaiter{}
 	c.MC.Engine().After(timeout, func() {
 		if settled {
 			return
 		}
 		settled = true
-		cb(nil, fmt.Errorf("mic: dial %s:%d: setup deadline %v exceeded", target, port, timeout))
+		canceled = true
+		w.canceled = true
+		cb(nil, fmt.Errorf("mic: dial %s:%d: setup deadline %v exceeded: %w", target, port, timeout, ErrSetupTimeout))
 	})
 	done := func(s *Stream, err error) {
 		if settled {
@@ -137,43 +233,59 @@ func (c *Client) Dial(target string, port uint16, cb func(*Stream, error)) {
 		settled = true
 		cb(s, err)
 	}
-	c.withChannel(target, func(info *ChannelInfo, err error) {
+	w.fn = func(info *ChannelInfo, err error) {
 		if err != nil {
 			done(nil, err)
 			return
 		}
-		c.openStream(info, port, done)
-	})
+		c.openStream(info, port, &canceled, done)
+	}
+	c.withChannel(target, w)
 }
 
 // withChannel returns the cached channel for target or establishes one,
-// coalescing concurrent requests.
-func (c *Client) withChannel(target string, cb func(*ChannelInfo, error)) {
+// coalescing concurrent requests. Waiters whose dial deadline fired while
+// the request was in flight are skipped when the reply lands; if every
+// waiter is gone, a successful reply is not cached — the orphan channel is
+// closed at the MC so timed-out dials leak no controller state.
+func (c *Client) withChannel(target string, w *chanWaiter) {
 	if cc, ok := c.channels[target]; ok {
 		cc.lastUsed = c.MC.Engine().Now()
-		cb(cc.info, nil)
+		w.fn(cc.info, nil)
 		return
 	}
 	if waiters, inflight := c.pending[target]; inflight {
-		c.pending[target] = append(waiters, cb)
+		c.pending[target] = append(waiters, w)
 		return
 	}
-	c.pending[target] = []func(*ChannelInfo, error){cb}
+	c.pending[target] = []*chanWaiter{w}
 	c.MC.EstablishChannel(c.Stack.Host.IP, target, c.Opts, func(info *ChannelInfo, err error) {
 		waiters := c.pending[target]
 		delete(c.pending, target)
+		live := waiters[:0]
+		for _, w := range waiters {
+			if !w.canceled {
+				live = append(live, w)
+			}
+		}
 		if err == nil {
+			if len(live) == 0 {
+				_ = c.MC.CloseChannel(info.ID, nil)
+				return
+			}
 			c.channels[target] = &cachedChannel{info: info, lastUsed: c.MC.Engine().Now()}
 		}
-		for _, w := range waiters {
-			w(info, err)
+		for _, w := range live {
+			w.fn(info, err)
 		}
 	})
 }
 
 // openStream dials one transport connection per m-flow, sends the hello on
-// each, and hands the assembled Stream to cb.
-func (c *Client) openStream(info *ChannelInfo, port uint16, cb func(*Stream, error)) {
+// each, and hands the assembled Stream to cb. canceled is the owning dial
+// attempt's abandon flag: once set, every subsequent connect result closes
+// its connection (and any already collected) instead of building a stream.
+func (c *Client) openStream(info *ChannelInfo, port uint16, canceled *bool, cb func(*Stream, error)) {
 	n := len(info.Flows)
 	conns := make([]transport.ByteStream, n)
 	token := c.rng.Uint64()
@@ -184,6 +296,18 @@ func (c *Client) openStream(info *ChannelInfo, port uint16, cb func(*Stream, err
 			if failed {
 				if bs != nil {
 					bs.Close()
+				}
+				return
+			}
+			if canceled != nil && *canceled {
+				failed = true
+				if bs != nil {
+					bs.Close()
+				}
+				for _, c := range conns {
+					if c != nil {
+						c.Close()
+					}
 				}
 				return
 			}

@@ -176,6 +176,8 @@ func NewCluster(net *netsim.Network, cfg Config, ccfg ClusterConfig) (*Cluster, 
 		"heartbeats_sent", "heartbeats_missed", "takeovers",
 		"rules_reinstalled", "rules_stale_deleted", "request_retries",
 		"journal_appends", "journal_snapshots", "journal_records",
+		"dials_admitted", "dials_shed", "channels_degraded",
+		"channels_refused", "flows_restored", "mflow_rules_evicted",
 	} {
 		c.Counters.Set(name, 0)
 	}
@@ -438,6 +440,7 @@ func (c *Cluster) takeover(m *member) bool {
 	m.role = roleActive
 	c.active = c.memberIndex(m)
 	c.Net.SetController(mc)
+	mc.armEviction()
 	if mc.Cfg.AutoRepair {
 		mc.enableAutoRepair()
 	}
@@ -679,11 +682,29 @@ func (c *Cluster) Audit() (stale, missing int) {
 	return stale, missing
 }
 
-// Telemetry folds journal statistics into the counters and returns them.
+// Telemetry folds journal statistics and per-member admission counters into
+// the counters and returns them. Admission counters sum across members in
+// slice order: each member accumulates its own tallies while active, and
+// sums (unlike gauges) survive takeovers.
 func (c *Cluster) Telemetry() *metrics.Counters {
 	c.Counters.Set("journal_appends", c.Journal.Appends)
 	c.Counters.Set("journal_snapshots", c.Journal.Snapshots)
 	c.Counters.Set("journal_records", uint64(c.Journal.Len()))
+	var admitted, shed, degraded, refused, restored, evicted uint64
+	for _, m := range c.members {
+		admitted += m.mc.RequestsAdmitted
+		shed += m.mc.RequestsShed
+		degraded += m.mc.ChannelsDegraded
+		refused += m.mc.ChannelsRefused
+		restored += m.mc.FlowsRestored
+		evicted += m.mc.RulesEvicted
+	}
+	c.Counters.Set("dials_admitted", admitted)
+	c.Counters.Set("dials_shed", shed)
+	c.Counters.Set("channels_degraded", degraded)
+	c.Counters.Set("channels_refused", refused)
+	c.Counters.Set("flows_restored", restored)
+	c.Counters.Set("mflow_rules_evicted", evicted)
 	return c.Counters
 }
 

@@ -124,8 +124,10 @@ func (j *Journal) Append(r Record) {
 	r.Seq = j.seq
 	j.Appends++
 	switch r.Kind {
-	case RecOpen:
-		if r.Channel+1 > j.chanHigh {
+	case RecOpen, RecUpdate:
+		// RecUpdate carries AllocNext too: a degraded-channel upgrade
+		// allocates fresh flow IDs without a RecOpen.
+		if r.Kind == RecOpen && r.Channel+1 > j.chanHigh {
 			j.chanHigh = r.Channel + 1
 		}
 		if r.AllocNext > j.allocHigh {
@@ -193,6 +195,13 @@ func (j *Journal) compact() {
 				m.Seq = r.Seq
 				m.Epoch, m.Gen = r.Epoch, r.Gen
 				m.Flows, m.Rules = r.Flows, r.Rules
+				if len(r.Res) > 0 {
+					m.FlowIDs, m.Entries = r.FlowIDs, r.Entries
+					m.Finals, m.Res = r.Finals, r.Res
+				}
+				if r.AllocNext > m.AllocNext {
+					m.AllocNext = r.AllocNext
+				}
 				if r.NextGroup > m.NextGroup {
 					m.NextGroup = r.NextGroup
 				}
@@ -254,12 +263,21 @@ func (mc *MC) journalUpdate(st *channelState) {
 		return
 	}
 	mc.journal.Append(Record{
-		Kind:      RecUpdate,
-		Channel:   st.id,
-		Epoch:     st.epoch,
-		Gen:       st.gen,
+		Kind:    RecUpdate,
+		Channel: st.id,
+		Epoch:   st.epoch,
+		Gen:     st.gen,
+		// Durable resources are re-logged on every update because a
+		// degraded-channel upgrade (admission.go) allocates fresh flow
+		// IDs and endpoint reservations mid-life; plain repairs re-log
+		// unchanged values, which replay applies idempotently.
+		FlowIDs:   append([]uint32(nil), st.flowIDs...),
+		Entries:   append([]addr.IP(nil), st.entries...),
+		Finals:    append([]addr.IP(nil), st.finals...),
+		Res:       append([]flowRes(nil), st.res...),
 		Flows:     append([]FlowInfo(nil), st.info.Flows...),
 		Rules:     append([]ruleRec(nil), st.rules...),
+		AllocNext: mc.flowIDs.next,
 		NextGroup: mc.nextGroup,
 	})
 }
@@ -298,6 +316,7 @@ func (mc *MC) applyRecord(r Record) {
 			Flows:     append([]FlowInfo(nil), r.Flows...),
 		}
 		mc.setRules(st, r.Rules)
+		mc.chargeIntent(st.rules)
 		for _, f := range st.info.Flows {
 			mc.chargePathLoad(st, f.Path)
 		}
@@ -320,11 +339,26 @@ func (mc *MC) applyRecord(r Record) {
 			return
 		}
 		st.epoch, st.gen = r.Epoch, r.Gen
+		mc.releaseIntent(st.rules)
 		mc.releaseLoad(st)
+		if len(r.Res) > 0 {
+			// Upgrade-capable update: durable resources may have grown.
+			st.flowIDs = append([]uint32(nil), r.FlowIDs...)
+			st.entries = append([]addr.IP(nil), r.Entries...)
+			st.finals = append([]addr.IP(nil), r.Finals...)
+			st.res = append([]flowRes(nil), r.Res...)
+			for _, e := range st.entries {
+				mc.entryInUse[[2]addr.IP{st.initiator, e}] = true
+			}
+			for _, f := range st.finals {
+				mc.entryInUse[[2]addr.IP{st.info.Responder, f}] = true
+			}
+		}
 		st.info.Flows = append(st.info.Flows[:0], r.Flows...)
 		st.switches = make(map[topo.NodeID]bool)
 		st.groups = nil
 		mc.setRules(st, r.Rules)
+		mc.chargeIntent(st.rules)
 		for _, f := range st.info.Flows {
 			mc.chargePathLoad(st, f.Path)
 		}
@@ -337,6 +371,7 @@ func (mc *MC) applyRecord(r Record) {
 			return
 		}
 		delete(mc.channels, r.Channel)
+		mc.releaseIntent(st.rules)
 		mc.releaseLoad(st)
 		for _, e := range st.entries {
 			delete(mc.entryInUse, [2]addr.IP{st.initiator, e})

@@ -105,6 +105,11 @@ type Config struct {
 	// them into the same self-healing path. The prober reschedules itself
 	// forever, so drive the engine with RunUntil/RunFor, not Run.
 	ProbeInterval time.Duration
+
+	// Admission tunes the overload-protection layer (admission.go): token
+	// bucket, bounded request queue, per-switch rule budgets and the
+	// degradation ladder. Zero value = off, the seed behaviour.
+	Admission AdmissionConfig
 }
 
 // Self-healing defaults.
@@ -171,6 +176,7 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = d.Seed
 	}
+	c.Admission = c.Admission.withDefaults()
 	return c
 }
 
@@ -350,6 +356,29 @@ type MC struct {
 	// hop via table miss; UnexpectedMisses counts any other packet-in.
 	DecoysDropped    uint64
 	UnexpectedMisses uint64
+
+	// Admission-control state (admission.go): the token bucket, the bounded
+	// request queue, and the per-switch rule-intent accounting the budgets
+	// check against. ruleCount is maintained on live serving and journal
+	// replay alike, so failover preserves it; commonBase caches each
+	// switch's common-routing rule count for derived budgets.
+	admitTokens float64
+	admitLast   sim.Time
+	admitQueue  []*admitReq
+	drainArmed  bool
+	ruleCount   map[topo.NodeID]int
+	commonBase  map[topo.NodeID]int
+
+	// Overload counters (fixed-order rendering via Telemetry()).
+	RequestsAdmitted uint64 // dials granted a token
+	RequestsQueued   uint64 // dials that had to queue
+	RequestsShed     uint64 // dials refused at the queue (full or stale)
+	QueuePeak        uint64 // high-water mark of the request queue
+	ChannelsDegraded uint64 // dials admitted with fewer m-flows than asked
+	ChannelsRefused  uint64 // dials refused for rule-budget exhaustion
+	FlowsRestored    uint64 // degraded channels upgraded after pressure cleared
+	RulesEvicted     uint64 // m-flow rules displaced by capacity eviction
+	MissReinstalls   uint64 // evicted rules reinstalled on table miss
 }
 
 // NewMC builds a controller for the network: assigns S_IDs and MAGA keys to
@@ -396,8 +425,13 @@ func newMC(net *netsim.Network, cfg Config, passive bool) (*MC, error) {
 		nodeChannels: make(map[topo.NodeID]map[uint64]bool),
 		repairJobs:   make(map[uint64]*repairJob),
 		staleCookies: make(map[topo.NodeID][]uint64),
+		ruleCount:    make(map[topo.NodeID]int),
+		commonBase:   make(map[topo.NodeID]int),
 		nextChan:     uint64(cfg.InstanceID) << 32,
 		nextGroup:    cfg.InstanceID << 24,
+		// The token bucket starts full: cold-start dials are admitted up to
+		// Burst rather than queued behind the first refill.
+		admitTokens: float64(cfg.Admission.Burst),
 	}
 	mc.pathRng = mc.rng.Stream(fmt.Sprintf("paths-%d", cfg.InstanceID))
 
@@ -426,6 +460,7 @@ func newMC(net *netsim.Network, cfg Config, passive bool) (*MC, error) {
 		return nil, err
 	}
 	net.SetController(mc)
+	mc.armEviction()
 	if cfg.AutoRepair {
 		mc.enableAutoRepair()
 	}
@@ -520,6 +555,7 @@ func (mc *MC) resetState() {
 	mc.staleCookies = make(map[topo.NodeID][]uint64)
 	mc.nextChan = uint64(mc.Cfg.InstanceID) << 32
 	mc.nextGroup = mc.Cfg.InstanceID << 24
+	mc.resetAdmission()
 }
 
 // SubscribeRepair adds a listener for completed self-healing jobs. Unlike
@@ -563,6 +599,13 @@ func (mc *MC) PacketIn(sw *netsim.Switch, inPort int, p *packet.Packet) {
 		return
 	}
 	if l, ok := p.TopMPLS(); ok && l != mc.CFLabel {
+		// Under EvictIdle a miss may be an intended rule displaced by
+		// capacity eviction; reinstalling it (plus a packet-out) turns the
+		// eviction into one controller round trip. Without EvictIdle the
+		// seed semantics hold: every MF-labeled miss is a dying decoy.
+		if mc.Cfg.Admission.EvictIdle && mc.activeCtrl && mc.reinstallOnMiss(sw, inPort, p) {
+			return
+		}
 		mc.DecoysDropped++
 		return
 	}

@@ -1,0 +1,467 @@
+package mic
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mic/internal/addr"
+	"mic/internal/netsim"
+	"mic/internal/sim"
+	"mic/internal/topo"
+	"mic/internal/transport"
+)
+
+// newCapFixture is newFixture with a per-switch flow-table capacity, the
+// testbed for admission control and the degradation ladder.
+func newCapFixture(t testing.TB, cfg Config, capacity int) *fixture {
+	t.Helper()
+	g, err := topo.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{PoolDebug: true, FlowTableCapacity: capacity})
+	mc, err := NewMC(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{eng: eng, net: net, mc: mc, graph: g}
+	for _, hid := range g.Hosts() {
+		f.stacks = append(f.stacks, transport.NewStack(net.Host(hid)))
+	}
+	return f
+}
+
+// TestClusterConfigDefaults pins the failover heartbeat defaults (2ms beat,
+// 3 misses) and checks that explicit values pass through withDefaults
+// untouched.
+func TestClusterConfigDefaults(t *testing.T) {
+	d := ClusterConfig{}.withDefaults()
+	if d.HeartbeatInterval != 2*time.Millisecond {
+		t.Errorf("default HeartbeatInterval = %v, want 2ms", d.HeartbeatInterval)
+	}
+	if d.HeartbeatMisses != 3 {
+		t.Errorf("default HeartbeatMisses = %d, want 3", d.HeartbeatMisses)
+	}
+	if DefaultHeartbeatInterval != 2*time.Millisecond || DefaultHeartbeatMisses != 3 {
+		t.Errorf("exported defaults drifted: %v / %d", DefaultHeartbeatInterval, DefaultHeartbeatMisses)
+	}
+	c := ClusterConfig{HeartbeatInterval: 7 * time.Millisecond, HeartbeatMisses: 5}.withDefaults()
+	if c.HeartbeatInterval != 7*time.Millisecond || c.HeartbeatMisses != 5 {
+		t.Errorf("custom heartbeat config overwritten: %v / %d", c.HeartbeatInterval, c.HeartbeatMisses)
+	}
+}
+
+// TestAdmissionTokenBucket walks the whole limiter with seven concurrent
+// requests: the full bucket admits Burst immediately, the next requests
+// queue up to QueueLimit, overflow is refused on the spot, the first queued
+// request drains when a token accrues, and the second outlives its deadline
+// and is shed. Every request is answered exactly once — the zero-silent-drop
+// guarantee.
+func TestAdmissionTokenBucket(t *testing.T) {
+	f := newFixture(t, Config{Admission: AdmissionConfig{
+		Enabled: true, Rate: 100, Burst: 2,
+		QueueLimit: 2, QueueDeadline: 15 * time.Millisecond,
+	}})
+	type outcome struct {
+		at  sim.Time
+		err error
+	}
+	results := make(map[int][]outcome)
+	f.eng.After(time.Millisecond, func() {
+		for i := 0; i < 7; i++ {
+			i := i
+			f.mc.admit(
+				func() { results[i] = append(results[i], outcome{f.eng.Now(), nil}) },
+				func(err error) { results[i] = append(results[i], outcome{f.eng.Now(), err}) },
+			)
+		}
+	})
+	f.eng.Run()
+
+	for i := 0; i < 7; i++ {
+		if n := len(results[i]); n != 1 {
+			t.Fatalf("request %d answered %d times, want exactly 1", i, n)
+		}
+	}
+	ms := func(d time.Duration) sim.Time { return sim.Time(d) }
+	// Bucket starts full: requests 0 and 1 are admitted at arrival.
+	for _, i := range []int{0, 1} {
+		if r := results[i][0]; r.err != nil || r.at != ms(time.Millisecond) {
+			t.Errorf("request %d: got (%v, t=%v), want admitted at 1ms", i, r.err, r.at)
+		}
+	}
+	// Request 2 queues and drains when the first token accrues (1/Rate = 10ms).
+	if r := results[2][0]; r.err != nil || r.at != ms(11*time.Millisecond) {
+		t.Errorf("request 2: got (%v, t=%v), want admitted at 11ms", r.err, r.at)
+	}
+	// Request 3 queues behind it and outlives the 15ms deadline: shed at 16ms.
+	if r := results[3][0]; !errors.Is(r.err, ErrOverloaded) || r.at != ms(16*time.Millisecond) {
+		t.Errorf("request 3: got (%v, t=%v), want shed with ErrOverloaded at 16ms", r.err, r.at)
+	}
+	// Requests 4-6 find the queue full and are refused immediately.
+	for _, i := range []int{4, 5, 6} {
+		if r := results[i][0]; !errors.Is(r.err, ErrOverloaded) || r.at != ms(time.Millisecond) {
+			t.Errorf("request %d: got (%v, t=%v), want queue-full refusal at 1ms", i, r.err, r.at)
+		}
+	}
+	if f.mc.RequestsAdmitted != 3 || f.mc.RequestsShed != 4 {
+		t.Errorf("admitted/shed = %d/%d, want 3/4", f.mc.RequestsAdmitted, f.mc.RequestsShed)
+	}
+	if f.mc.QueuePeak != 2 {
+		t.Errorf("QueuePeak = %d, want 2", f.mc.QueuePeak)
+	}
+}
+
+// TestAdmissionDisabledIsPassThrough: the zero AdmissionConfig must keep the
+// seed behaviour — every request runs inline, nothing is counted.
+func TestAdmissionDisabledIsPassThrough(t *testing.T) {
+	f := newFixture(t, Config{})
+	ran := 0
+	for i := 0; i < 100; i++ {
+		f.mc.admit(func() { ran++ }, func(error) { t.Fatal("refused with admission disabled") })
+	}
+	if ran != 100 || f.mc.RequestsAdmitted != 0 {
+		t.Fatalf("ran=%d admitted=%d, want 100 runs and no accounting", ran, f.mc.RequestsAdmitted)
+	}
+}
+
+// delayedCP delays the MC's channel-establishment reply, modelling a
+// controller that answers after the client has given up.
+type delayedCP struct {
+	*MC
+	delay time.Duration
+}
+
+func (d *delayedCP) EstablishChannel(init addr.IP, target string, opts ChannelOptions, cb func(*ChannelInfo, error)) {
+	d.MC.EstablishChannel(init, target, opts, func(info *ChannelInfo, err error) {
+		d.MC.Engine().After(d.delay, func() { cb(info, err) })
+	})
+}
+
+// TestDialTimeoutCancelsLateChannelReply is the regression for the setup
+// leak: a channel reply landing after the dial's deadline must not register
+// client state, and the orphaned channel must be closed back at the MC.
+func TestDialTimeoutCancelsLateChannelReply(t *testing.T) {
+	f := newFixture(t, Config{})
+	Listen(f.stacks[15], 80, false, func(s *Stream) {})
+	cp := &delayedCP{MC: f.mc, delay: 50 * time.Millisecond}
+	client := NewClient(f.stacks[0], cp)
+	client.SetupTimeout = 2 * time.Millisecond
+	client.DialRetries = -1
+	target := f.hostIP(15).String()
+
+	var dialErr error
+	calls := 0
+	client.Dial(target, 80, func(s *Stream, err error) {
+		calls++
+		dialErr = err
+		if s != nil {
+			t.Error("timed-out dial produced a stream")
+		}
+	})
+	f.eng.Run()
+
+	if calls != 1 {
+		t.Fatalf("dial callback fired %d times, want 1", calls)
+	}
+	if !errors.Is(dialErr, ErrSetupTimeout) {
+		t.Fatalf("dial error = %v, want ErrSetupTimeout", dialErr)
+	}
+	if client.channels[target] != nil {
+		t.Error("late channel reply registered in the client's reuse cache")
+	}
+	if n := f.mc.LiveChannels(); n != 0 {
+		t.Errorf("timed-out dial leaked %d live channels at the MC", n)
+	}
+}
+
+// flakyCP refuses the first failures establishment attempts with
+// ErrOverloaded, then delegates to the real MC.
+type flakyCP struct {
+	*MC
+	failures int
+	calls    int
+}
+
+func (f *flakyCP) EstablishChannel(init addr.IP, target string, opts ChannelOptions, cb func(*ChannelInfo, error)) {
+	f.calls++
+	if f.calls <= f.failures {
+		f.MC.Engine().After(100*time.Microsecond, func() {
+			cb(nil, fmt.Errorf("synthetic refusal %d: %w", f.calls, ErrOverloaded))
+		})
+		return
+	}
+	f.MC.EstablishChannel(init, target, opts, cb)
+}
+
+// TestDialRetriesOnOverload: a refusal is retryable — the client backs off
+// (seeded jitter, capped exponential) and re-dials up to DialRetries times.
+func TestDialRetriesOnOverload(t *testing.T) {
+	f := newFixture(t, Config{})
+	Listen(f.stacks[15], 80, false, func(s *Stream) {
+		s.OnData(func(b []byte) { s.Send(b) })
+	})
+	cp := &flakyCP{MC: f.mc, failures: 2}
+	client := NewClient(f.stacks[0], cp)
+	client.DialRetries = 3
+	client.RetryBackoff = time.Millisecond
+
+	var got *Stream
+	var dialErr error
+	client.Dial(f.hostIP(15).String(), 80, func(s *Stream, err error) { got, dialErr = s, err })
+	f.eng.Run()
+
+	if dialErr != nil || got == nil {
+		t.Fatalf("dial after retries: %v", dialErr)
+	}
+	if cp.calls != 3 {
+		t.Fatalf("EstablishChannel called %d times, want 3 (2 refusals + success)", cp.calls)
+	}
+	if client.DialRetryCount != 2 {
+		t.Fatalf("DialRetryCount = %d, want 2", client.DialRetryCount)
+	}
+}
+
+// TestDialRetriesExhausted: when every attempt is refused the final typed
+// error surfaces and the retry counter shows the full budget was spent.
+func TestDialRetriesExhausted(t *testing.T) {
+	f := newFixture(t, Config{})
+	cp := &flakyCP{MC: f.mc, failures: 1 << 30}
+	client := NewClient(f.stacks[0], cp)
+	client.DialRetries = 2
+	client.RetryBackoff = time.Millisecond
+
+	var dialErr error
+	client.Dial(f.hostIP(15).String(), 80, func(s *Stream, err error) { dialErr = err })
+	f.eng.Run()
+
+	if !errors.Is(dialErr, ErrOverloaded) {
+		t.Fatalf("dial error = %v, want ErrOverloaded", dialErr)
+	}
+	if cp.calls != 3 || client.DialRetryCount != 2 {
+		t.Fatalf("calls=%d retries=%d, want 3 attempts / 2 retries", cp.calls, client.DialRetryCount)
+	}
+}
+
+// TestRetryDelayBounds: the backoff is base<<n capped at 8x base, with
+// jitter in [0.5, 1.5) — never zero, never unbounded.
+func TestRetryDelayBounds(t *testing.T) {
+	f := newFixture(t, Config{})
+	client := NewClient(f.stacks[0], f.mc)
+	base := client.RetryBackoff
+	if base == 0 {
+		base = DefaultRetryBackoff
+	}
+	for n := 0; n < 8; n++ {
+		exp := base << n
+		if lim := 8 * base; exp > lim {
+			exp = lim
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := client.retryDelay(n)
+			if d < exp/2 || d >= exp+exp/2 {
+				t.Fatalf("retryDelay(%d) = %v, want in [%v, %v)", n, d, exp/2, exp+exp/2)
+			}
+		}
+	}
+}
+
+// dialOutcome is one sequential dial's result in the ladder tests.
+type dialOutcome struct {
+	flows int
+	err   error
+}
+
+// runLadder dials the listener on host 15 once per initiator host, 5ms
+// apart (each settles before the next), with a fresh client per dial so
+// every dial is a distinct channel-open. Returns outcomes in dial order
+// plus the clients for later closes.
+func runLadder(f *fixture, initiators []int, deadline time.Duration) ([]dialOutcome, []*Client) {
+	target := f.stacks[15].Host.IP.String()
+	outcomes := make([]dialOutcome, len(initiators))
+	clients := make([]*Client, len(initiators))
+	for i, h := range initiators {
+		i, h := i, h
+		f.eng.After(time.Duration(i)*5*time.Millisecond, func() {
+			client := NewClientSeeded(f.stacks[h], f.mc, uint64(i)+1)
+			client.Opts = ChannelOptions{MFlows: 4}
+			client.DialRetries = -1
+			clients[i] = client
+			client.Dial(target, 80, func(s *Stream, err error) {
+				if err != nil {
+					outcomes[i] = dialOutcome{err: err}
+					return
+				}
+				outcomes[i] = dialOutcome{flows: s.FlowCount()}
+			})
+		})
+	}
+	f.eng.RunUntil(sim.Time(deadline))
+	f.mc.StopProber()
+	f.eng.Run()
+	return outcomes, clients
+}
+
+// TestDegradeBeforeRefuse drives sequential dials into a rule-budget-bound
+// fabric: the MC must first admit at full F, then admit with fewer m-flows
+// (the degradation ladder), and only refuse once even MinFlows does not
+// fit. Refusals must be typed ErrOverloaded, never silence.
+func TestDegradeBeforeRefuse(t *testing.T) {
+	f := newFixture(t, Config{MFlows: 4, MNs: 3, Admission: AdmissionConfig{
+		Enabled: true, Rate: 1e6, Burst: 64, SwitchRuleBudget: 16,
+	}})
+	Listen(f.stacks[15], 80, false, func(s *Stream) {})
+	outcomes, _ := runLadder(f, []int{0, 1, 2, 3, 4, 5, 6, 7}, 200*time.Millisecond)
+
+	var full, degraded, refused int
+	sawDegraded, sawRefusal := -1, -1
+	for i, o := range outcomes {
+		switch {
+		case o.err == nil && o.flows == 4:
+			full++
+		case o.err == nil:
+			degraded++
+			if sawDegraded < 0 {
+				sawDegraded = i
+			}
+		case errors.Is(o.err, ErrOverloaded):
+			refused++
+			if sawRefusal < 0 {
+				sawRefusal = i
+			}
+		default:
+			t.Fatalf("dial %d: unexpected error %v", i, o.err)
+		}
+	}
+	if full == 0 || degraded == 0 || refused == 0 {
+		t.Fatalf("ladder incomplete: full=%d degraded=%d refused=%d, want all > 0", full, degraded, refused)
+	}
+	if sawDegraded > sawRefusal {
+		t.Errorf("first degradation (dial %d) after first refusal (dial %d): ladder inverted", sawDegraded, sawRefusal)
+	}
+	if f.mc.ChannelsDegraded == 0 || f.mc.ChannelsRefused == 0 {
+		t.Errorf("MC counters: degraded=%d refused=%d, want both > 0", f.mc.ChannelsDegraded, f.mc.ChannelsRefused)
+	}
+}
+
+// TestDisableDegradeRefusesOutright: the ablation jumps straight from full
+// admissions to refusals — no reduced-F channels exist.
+func TestDisableDegradeRefusesOutright(t *testing.T) {
+	f := newFixture(t, Config{MFlows: 4, MNs: 3, Admission: AdmissionConfig{
+		Enabled: true, Rate: 1e6, Burst: 64, SwitchRuleBudget: 16, DisableDegrade: true,
+	}})
+	Listen(f.stacks[15], 80, false, func(s *Stream) {})
+	outcomes, _ := runLadder(f, []int{0, 1, 2, 3, 4, 5}, 150*time.Millisecond)
+
+	refused := 0
+	for i, o := range outcomes {
+		if o.err == nil && o.flows != 4 {
+			t.Fatalf("dial %d admitted with F=%d despite DisableDegrade", i, o.flows)
+		}
+		if errors.Is(o.err, ErrOverloaded) {
+			refused++
+		}
+	}
+	if refused == 0 || f.mc.ChannelsDegraded != 0 {
+		t.Fatalf("refused=%d degraded=%d, want refusals and zero degradations", refused, f.mc.ChannelsDegraded)
+	}
+}
+
+// TestDegradedRestoreOnClose: closing a channel releases budget, and the
+// oldest degraded channel gets an m-flow back — F recovers as pressure
+// clears, driven by the same repair machinery that heals faults.
+func TestDegradedRestoreOnClose(t *testing.T) {
+	f := newFixture(t, Config{MFlows: 4, MNs: 3, Admission: AdmissionConfig{
+		Enabled: true, Rate: 1e6, Burst: 64, SwitchRuleBudget: 16,
+	}})
+	Listen(f.stacks[15], 80, false, func(s *Stream) {})
+	target := f.stacks[15].Host.IP.String()
+
+	outcomes, clients := runLadder(f, []int{0, 1, 2, 3, 4, 5}, 150*time.Millisecond)
+	firstFull := -1
+	degraded := -1
+	for i, o := range outcomes {
+		if o.err == nil && o.flows == 4 && firstFull < 0 {
+			firstFull = i
+		}
+		if o.err == nil && o.flows < 4 && degraded < 0 {
+			degraded = i
+		}
+	}
+	if firstFull < 0 || degraded < 0 {
+		t.Fatalf("fixture did not produce both full and degraded channels: %+v", outcomes)
+	}
+	degradedFlows := outcomes[degraded].flows
+
+	// Close a full-F channel; its released budget should restore one m-flow
+	// on the degraded channel.
+	done := false
+	if err := clients[firstFull].CloseChannel(target, func() { done = true }); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	f.eng.Run()
+	if !done {
+		t.Fatal("close never completed")
+	}
+	if f.mc.FlowsRestored == 0 {
+		t.Fatalf("FlowsRestored = 0 after budget release")
+	}
+	info := clients[degraded].channels[target]
+	if info == nil {
+		t.Fatal("degraded channel missing from its client's cache")
+	}
+	if got := len(info.info.Flows); got <= degradedFlows {
+		t.Errorf("degraded channel still at %d flows after release, was %d", got, degradedFlows)
+	}
+}
+
+// TestBudgetReplaySurvivesFailover: the per-switch intent accounting is
+// journal-derived, so a promoted standby's ruleCount must match a fresh
+// recomputation from its replayed channel state — otherwise budgets drift
+// after every crash.
+func TestBudgetReplaySurvivesFailover(t *testing.T) {
+	f := newClusterFixture(t, Config{MFlows: 2, MNs: 3, Admission: AdmissionConfig{
+		Enabled: true, Rate: 1e6, Burst: 64, SwitchRuleBudget: 64,
+	}}, ClusterConfig{})
+	Listen(f.stacks[15], 80, false, func(s *Stream) {})
+	target := f.stacks[15].Host.IP.String()
+	for i, h := range []int{0, 1, 2} {
+		i, h := i, h
+		f.eng.After(time.Duration(i)*2*time.Millisecond, func() {
+			client := NewClientSeeded(f.stacks[h], f.cl, uint64(i)+1)
+			client.Dial(target, 80, func(s *Stream, err error) {
+				if err != nil {
+					t.Errorf("dial %d: %v", i, err)
+				}
+			})
+		})
+	}
+	f.eng.After(20*time.Millisecond, func() { f.net.SetCtrlHostDown(0, true) })
+	f.settle(120 * time.Millisecond)
+
+	promoted := f.cl.ActiveMC()
+	if promoted.LiveChannels() != 3 {
+		t.Fatalf("promoted MC lost channels: %d live, want 3", promoted.LiveChannels())
+	}
+	want := make(map[topo.NodeID]int)
+	for _, st := range promoted.channels {
+		for _, rr := range st.rules {
+			if rr.entry != nil {
+				want[rr.node]++
+			}
+		}
+	}
+	for node, n := range want {
+		if promoted.ruleCount[node] != n {
+			t.Errorf("switch %d: replayed ruleCount %d, recomputed %d", node, promoted.ruleCount[node], n)
+		}
+	}
+	for node, n := range promoted.ruleCount {
+		if n != 0 && want[node] == 0 {
+			t.Errorf("switch %d: phantom intent %d with no backing rules", node, n)
+		}
+	}
+}

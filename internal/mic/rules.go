@@ -1,6 +1,7 @@
 package mic
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -69,16 +70,30 @@ func (mc *MC) EstablishChannel(initiator addr.IP, target string, opts ChannelOpt
 	// caller's retry layer (Cluster) re-issues it to the new active.
 	mc.Net.CPU.Charge("crypto", 2*mc.Cfg.RequestCryptoCost)
 	mc.Net.Eng.After(mc.Cfg.RequestLatency, mc.gate(func() {
-		info, mods, err := mc.computeChannel(initiator, target, opts)
-		if err != nil {
-			mc.Net.Eng.After(mc.Cfg.RequestLatency, func() { cb(nil, err) })
-			return
-		}
-		// Acknowledgement: sealed by the MC, opened by the client.
-		mc.Net.CPU.Charge("crypto", 2*mc.Cfg.RequestCryptoCost)
-		mc.Ch.InstallAll(mods, mc.gate(func() {
-			mc.Net.Eng.After(mc.Cfg.RequestLatency, func() { cb(info, nil) })
-		}))
+		// Admission control (admission.go): the request either gets a token
+		// now, waits in the bounded queue, or is refused with a typed
+		// ErrOverloaded — never silently dropped.
+		mc.admit(
+			func() { mc.serveChannel(initiator, target, opts, cb) },
+			func(err error) {
+				mc.Net.Eng.After(mc.Cfg.RequestLatency, func() { cb(nil, err) })
+			},
+		)
+	}))
+}
+
+// serveChannel is the admitted half of EstablishChannel: routing
+// calculation, rule installation, acknowledgement.
+func (mc *MC) serveChannel(initiator addr.IP, target string, opts ChannelOptions, cb func(*ChannelInfo, error)) {
+	info, mods, err := mc.computeChannel(initiator, target, opts)
+	if err != nil {
+		mc.Net.Eng.After(mc.Cfg.RequestLatency, func() { cb(nil, err) })
+		return
+	}
+	// Acknowledgement: sealed by the MC, opened by the client.
+	mc.Net.CPU.Charge("crypto", 2*mc.Cfg.RequestCryptoCost)
+	mc.Ch.InstallAll(mods, mc.gate(func() {
+		mc.Net.Eng.After(mc.Cfg.RequestLatency, func() { cb(info, nil) })
 	}))
 }
 
@@ -113,7 +128,10 @@ func (mc *MC) computeChannel(initiator addr.IP, target string, opts ChannelOptio
 	info := &ChannelInfo{ID: id, Responder: respIP}
 	var mods []ctrlplane.Mod
 
+	charged := 0 // prefix of st.rules whose intent has been charged
 	cleanup := func() {
+		mc.releaseIntent(st.rules[:charged])
+		mc.releaseLoad(st)
 		for _, fid := range st.flowIDs {
 			mc.flowIDs.release(fid)
 		}
@@ -125,12 +143,36 @@ func (mc *MC) computeChannel(initiator addr.IP, target string, opts ChannelOptio
 		}
 	}
 
+	minFlows := mc.Cfg.Admission.MinFlows
+	if minFlows < 1 {
+		minFlows = 1
+	}
 	for fi := 0; fi < opts.MFlows; fi++ {
+		snap := snapFlow(st, len(mods))
 		flowMods, flowInfo, err := mc.computeFlow(st, info, initHost.ID, respIP, opts, nil)
+		if err == nil {
+			if node, over := mc.flowOverBudget(st.rules[snap.rules:]); over {
+				err = fmt.Errorf("mic: rule budget exhausted on switch %s: %w",
+					mc.Net.Graph.Node(node).Name, ErrOverloaded)
+			}
+		}
 		if err != nil {
+			mc.unwindFlow(st, respIP, snap)
+			// Degradation ladder: under table pressure, admit with fewer
+			// m-flows (down to MinFlows) before refusing outright. Only
+			// budget pressure degrades — a routing failure still fails.
+			if errors.Is(err, ErrOverloaded) && !mc.Cfg.Admission.DisableDegrade && len(info.Flows) >= minFlows {
+				mc.ChannelsDegraded++
+				break
+			}
 			cleanup()
+			if errors.Is(err, ErrOverloaded) {
+				mc.ChannelsRefused++
+			}
 			return nil, nil, err
 		}
+		mc.chargeIntent(st.rules[snap.rules:])
+		charged = len(st.rules)
 		mods = append(mods, flowMods...)
 		info.Flows = append(info.Flows, flowInfo)
 	}
@@ -256,6 +298,9 @@ func (mc *MC) computeFlow(st *channelState, info *ChannelInfo, initNode topo.Nod
 		if e2 != nil {
 			e2.Priority = ctrlplane.PriorityMFlow
 			e2.Cookie = st.cookie(info.ID)
+			// Under EvictIdle, m-flow rules may be displaced at capacity;
+			// the MC's intent survives and reinstalls on miss.
+			e2.Evictable = mc.Cfg.Admission.EvictIdle
 			st.switches[node] = true
 		}
 		if grp != nil {
@@ -594,6 +639,8 @@ func (mc *MC) RepairChannel(id uint64, cb func(error)) {
 	// Update the existing ChannelInfo in place: clients hold a pointer to
 	// it, so they observe the repaired paths without a new round trip.
 	*st.info = *newInfo
+	mc.releaseIntent(oldRules)
+	mc.chargeIntent(st.rules)
 	mc.journalUpdate(st)
 	newGroupIDs := make(map[groupRef]bool, len(st.groups))
 	for _, gr := range st.groups {
@@ -670,7 +717,10 @@ func (mc *MC) reserveFake(endpoint addr.IP, pool []addr.IP) (addr.IP, error) {
 			return ip, nil
 		}
 	}
-	return 0, fmt.Errorf("mic: all %d plausible fake addresses for %v are in use", len(pool), endpoint)
+	// Exhaustion is transient pressure, not a routing defect: reservations
+	// free as channels close, so the refusal is typed retryable and feeds
+	// the degradation ladder like any other budget miss.
+	return 0, fmt.Errorf("mic: all %d plausible fake addresses for %v are in use: %w", len(pool), endpoint, ErrOverloaded)
 }
 
 // cookie derives the flow-table cookie for a channel's current rule epoch.
@@ -710,18 +760,32 @@ func (mc *MC) CloseChannel(id uint64, cb func()) error {
 	for _, gr := range st.groups {
 		mc.Net.Switch(gr.node).Table.DeleteGroup(gr.id)
 	}
+	// Rule-budget intent is released only once every switch has
+	// acknowledged its deletes: until then the slots are still physically
+	// occupied, and releasing early would let a dial admitted during the
+	// delete window install into a still-full table — refused under the
+	// deny-new policy and silently blackholed. For the same reason the
+	// degraded-channel restore fires after the acks, so its install lands
+	// on freed slots. Gated: a promoted life rebuilds its own accounting.
 	remaining := len(st.switches)
-	if remaining == 0 {
+	finish := func() {
+		mc.gate(func() {
+			mc.releaseIntent(st.rules)
+			mc.maybeRestoreDegraded()
+		})()
 		if cb != nil {
-			mc.Net.Eng.After(0, cb)
+			cb()
 		}
+	}
+	if remaining == 0 {
+		mc.Net.Eng.After(0, finish)
 		return nil
 	}
 	for _, node := range sortedNodeSet(st.switches) {
 		mc.Ch.DeleteByCookie(mc.Net.Switch(node), st.cookie(id), func(int) {
 			remaining--
-			if remaining == 0 && cb != nil {
-				cb()
+			if remaining == 0 {
+				finish()
 			}
 		})
 	}

@@ -59,6 +59,12 @@ type Config struct {
 	// FaultSeed drives the per-link fault RNG streams (SetLinkFault). Zero
 	// falls back to LossSeed, so existing loss-injection configs reproduce.
 	FaultSeed uint64
+
+	// FlowTableCapacity bounds every switch's flow table (the TCAM model);
+	// zero keeps tables unbounded, the seed behaviour. The at-capacity
+	// policy defaults to deny-new; a controller may opt switches into LRU
+	// eviction via flowtable.Table.Policy.
+	FlowTableCapacity int
 }
 
 // DefaultConfig mirrors a 1 Gb/s Mininet fabric with Open vSwitch.
@@ -292,7 +298,9 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
 	for _, node := range g.Nodes {
 		switch node.Kind {
 		case topo.KindSwitch:
-			n.switches[node.ID] = &Switch{net: n, ID: node.ID, Name: node.Name, Table: flowtable.NewTable()}
+			tbl := flowtable.NewTable()
+			tbl.Capacity = n.Cfg.FlowTableCapacity
+			n.switches[node.ID] = &Switch{net: n, ID: node.ID, Name: node.Name, Table: tbl}
 		case topo.KindHost:
 			n.hosts[node.ID] = &Host{net: n, ID: node.ID, Name: node.Name, IP: node.IP, MAC: node.MAC}
 		}

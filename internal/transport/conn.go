@@ -272,6 +272,15 @@ func (c *Conn) handle(p *packet.Packet) {
 				cb(c, nil)
 			}
 			c.pump()
+			return
+		}
+		if p.Flags&packet.FlagACK != 0 {
+			// Unacceptable ACK in SYN-SENT (RFC 793): the peer holds state
+			// from an earlier incarnation of this tuple — it answered our
+			// SYN with a challenge ACK instead of a SYN-ACK. Reset that
+			// stale incarnation; our retransmitted SYN then finds the
+			// listener and the handshake restarts cleanly.
+			c.stack.emit(c.mkPacket(packet.FlagRST, p.Ack, nil))
 		}
 		return
 	case stateSynRcvd:
@@ -298,6 +307,16 @@ func (c *Conn) handle(p *packet.Packet) {
 	}
 
 	// Established path.
+	if p.Flags&packet.FlagSYN != 0 && p.Flags&packet.FlagACK == 0 {
+		// A fresh SYN on an established tuple is a new incarnation knocking
+		// (RFC 5961 §4) — under MIC this happens when a released fake source
+		// address is recycled onto a new channel while this side still holds
+		// the old conn. Answer a challenge ACK: a legitimate new dialer
+		// replies RST, which tears this conn down and lets the retransmitted
+		// SYN reach the listener.
+		c.sendACK()
+		return
+	}
 	if p.Flags&packet.FlagACK != 0 {
 		c.processAck(p.Ack)
 	}

@@ -70,6 +70,57 @@ func TestHandshake(t *testing.T) {
 	}
 }
 
+func TestNewIncarnationDisplacesStaleConn(t *testing.T) {
+	// A peer that evaporates without closing (under MIC: a torn-down channel
+	// whose fake source address is later recycled onto a new one) leaves the
+	// other side holding an established conn for the tuple. A fresh SYN on
+	// that tuple must displace the stale conn, not vanish into it: the
+	// server answers a challenge ACK, the dialer resets the old incarnation,
+	// and the retransmitted SYN completes a clean handshake.
+	r := newRig(t, 3, netsim.Config{})
+	r.b.Listen(80, func(c *Conn) {})
+	var first *Conn
+	r.a.Dial(r.b.Host.IP, 80, func(c *Conn, err error) {
+		if err != nil {
+			t.Errorf("first dial: %v", err)
+			return
+		}
+		first = c
+	})
+	r.eng.Run()
+	if first == nil || !first.Established() {
+		t.Fatal("first handshake incomplete")
+	}
+	if len(r.b.conns) != 1 {
+		t.Fatalf("server holds %d conns, want 1", len(r.b.conns))
+	}
+
+	// Evaporate the dialer: forget its conn without any FIN/RST on the wire,
+	// and rewind the port allocator so the next dial reuses the same tuple.
+	delete(r.a.conns, first.tuple.Reverse())
+	first.disarmTimer()
+	r.a.nextPort = first.tuple.SrcPort
+
+	var second *Conn
+	r.a.Dial(r.b.Host.IP, 80, func(c *Conn, err error) {
+		if err != nil {
+			t.Errorf("second dial: %v", err)
+			return
+		}
+		second = c
+	})
+	r.eng.Run()
+	if second == nil || !second.Established() {
+		t.Fatal("second handshake did not displace the stale conn")
+	}
+	if second.tuple != first.tuple {
+		t.Fatalf("second dial used tuple %+v, want the recycled %+v", second.tuple, first.tuple)
+	}
+	if len(r.b.conns) != 1 {
+		t.Fatalf("server holds %d conns after displacement, want 1 (stale conn must be gone)", len(r.b.conns))
+	}
+}
+
 func TestEcho(t *testing.T) {
 	r := newRig(t, 3, netsim.Config{})
 	r.b.Listen(7, func(c *Conn) {
