@@ -209,6 +209,7 @@ func (t *Table) indexOf(e *Entry) int {
 // legacy unbounded-table API. Callers that set Capacity should use TryInsert
 // so a refused entry is an error, not a silent drop.
 func (t *Table) Insert(e *Entry, now sim.Time) {
+	// lint:ignore errdrop documented legacy unbounded-table API: capacity refusals are deliberately ignored; bounded callers use TryInsert
 	_ = t.TryInsert(e, now)
 }
 

@@ -205,6 +205,7 @@ func RunStorm(opts StormOptions) (*StormResult, error) {
 					s.Send(data)
 					eng.After(opts.Hold, func() {
 						s.Close()
+						// lint:ignore errdrop load-driver teardown is best-effort; a failed close only means the channel already went away
 						_ = client.CloseChannel(target, nil)
 					})
 				case errors.Is(err, mic.ErrOverloaded):

@@ -297,6 +297,7 @@ func runA3ChannelReuse(cfg RunConfig) (*Result, error) {
 				if !reuse {
 					// Tear the channel down after every message, forcing a
 					// fresh MC request next time.
+					// lint:ignore errdrop the driver sequences on the completion callback; the error only signals an already-gone channel
 					client.CloseChannel(target, func() {
 						if sent < messages {
 							send()

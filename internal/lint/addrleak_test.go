@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestAddrLeakGolden(t *testing.T) {
+	runTestdata(t, []*Analyzer{AddrLeak}, "addrleak")
+}

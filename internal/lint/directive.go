@@ -6,12 +6,14 @@ import (
 	"strings"
 )
 
-// miclint understands two comment directives, written `// lint:...` (the
+// miclint understands four comment directives, written `// lint:...` (the
 // space after `//` is optional, matching both gofmt'd comments and the
 // staticcheck-style `//lint:` form):
 //
 //	// lint:deterministic
 //	// lint:ignore <check> <reason>
+//	// lint:secret [name ...]
+//	// lint:declassify <check> <reason>
 //
 // `lint:deterministic` tags a package as part of the determinism contract;
 // it may appear in any file of the package, conventionally in the package
@@ -19,14 +21,38 @@ import (
 // are positioned on the directive's own line, or — when the directive
 // stands alone on its line — on the line immediately below it. A reason is
 // mandatory: suppressions are reviewed decisions, not mute buttons.
+//
+// `lint:secret` marks struct fields and function parameters as carrying
+// real endpoint addresses — the sources of the addrleak taint analysis.
+// Bare, it marks the single declaration on its line (or the line below);
+// with names, it marks those identifiers of the anchored declaration, which
+// is how individual parameters of a one-line function signature are marked.
+//
+// `lint:declassify` is the anonymity contract's counterpart of
+// `lint:ignore`: it marks a *sanctioned* exposure boundary (the mimic
+// rewrite install path, onion layer encryption) where a secret value may
+// legitimately cross into a sink. Mechanically it suppresses like an
+// ignore — same line or the line below, mandatory reason, typo'd check
+// names reported — but it is parsed and listed separately so sanctioned
+// boundaries stay enumerable and reviewable as a set.
 
-// ignoreDirective is one parsed `lint:ignore`.
+// ignoreDirective is one parsed `lint:ignore` or `lint:declassify`.
 type ignoreDirective struct {
 	pos    token.Pos
 	file   string
 	line   int
 	check  string
 	reason string
+}
+
+// secretDirective is one parsed `lint:secret`. It anchors to the
+// declaration on its own line or the line below; names, when present,
+// select identifiers of that declaration.
+type secretDirective struct {
+	pos   token.Pos
+	file  string
+	line  int
+	names []string
 }
 
 // badDirective is a directive that failed to parse.
@@ -39,6 +65,8 @@ type badDirective struct {
 type directives struct {
 	deterministic bool
 	ignores       []ignoreDirective
+	declassifies  []ignoreDirective
+	secrets       []secretDirective
 	bad           []badDirective
 }
 
@@ -69,34 +97,73 @@ func (d *directives) parseComment(fset *token.FileSet, c *ast.Comment) {
 	switch verb {
 	case "deterministic":
 		d.deterministic = true
-	case "ignore":
+	case "ignore", "declassify":
 		check, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
 		pos := fset.Position(c.Pos())
 		switch {
 		case check == "":
-			d.bad = append(d.bad, badDirective{c.Pos(), "lint:ignore needs a check name and a reason"})
+			d.bad = append(d.bad, badDirective{c.Pos(), "lint:" + verb + " needs a check name and a reason"})
 		case strings.TrimSpace(reason) == "":
-			d.bad = append(d.bad, badDirective{c.Pos(), "lint:ignore " + check + " needs a reason"})
+			d.bad = append(d.bad, badDirective{c.Pos(), "lint:" + verb + " " + check + " needs a reason"})
 		default:
-			d.ignores = append(d.ignores, ignoreDirective{
+			dir := ignoreDirective{
 				pos:    c.Pos(),
 				file:   pos.Filename,
 				line:   pos.Line,
 				check:  check,
 				reason: strings.TrimSpace(reason),
-			})
+			}
+			if verb == "ignore" {
+				d.ignores = append(d.ignores, dir)
+			} else {
+				d.declassifies = append(d.declassifies, dir)
+			}
+		}
+	case "secret":
+		pos := fset.Position(c.Pos())
+		s := secretDirective{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+		ok := true
+		for _, name := range strings.Fields(args) {
+			if !isIdent(name) {
+				d.bad = append(d.bad, badDirective{c.Pos(), "lint:secret name " + name + " is not an identifier"})
+				ok = false
+				break
+			}
+			s.names = append(s.names, name)
+		}
+		if ok {
+			d.secrets = append(d.secrets, s)
 		}
 	default:
 		d.bad = append(d.bad, badDirective{c.Pos(), "unknown directive lint:" + verb})
 	}
 }
 
+// isIdent reports whether s looks like a Go identifier.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
 // suppressed reports whether a diagnostic of check at pos is covered by an
-// ignore directive: one on the same line, or one on the line directly
-// above (the directive-on-its-own-line style). A directive anywhere else —
-// e.g. drifted away from the code it once annotated — does not suppress.
+// ignore OR declassify directive: one on the same line, or one on the line
+// directly above (the directive-on-its-own-line style). A directive
+// anywhere else — e.g. drifted away from the code it once annotated — does
+// not suppress.
 func (d *directives) suppressed(check string, pos token.Position) bool {
-	for _, ig := range d.ignores {
+	return covers(d.ignores, check, pos) || covers(d.declassifies, check, pos)
+}
+
+func covers(dirs []ignoreDirective, check string, pos token.Position) bool {
+	for _, ig := range dirs {
 		if ig.check != check || ig.file != pos.Filename {
 			continue
 		}
@@ -107,14 +174,19 @@ func (d *directives) suppressed(check string, pos token.Position) bool {
 	return false
 }
 
-// malformed returns parse failures plus ignores naming a check that does
-// not exist — a typo'd check name would otherwise suppress nothing,
-// silently.
+// malformed returns parse failures plus ignores/declassifies naming a check
+// that does not exist — a typo'd check name would otherwise suppress
+// nothing, silently.
 func (d *directives) malformed(known map[string]bool) []badDirective {
 	out := append([]badDirective(nil), d.bad...)
 	for _, ig := range d.ignores {
 		if !known[ig.check] {
 			out = append(out, badDirective{ig.pos, "lint:ignore names unknown check " + ig.check})
+		}
+	}
+	for _, dc := range d.declassifies {
+		if !known[dc.check] {
+			out = append(out, badDirective{dc.pos, "lint:declassify names unknown check " + dc.check})
 		}
 	}
 	return out

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags discarded error results on control-plane paths. The MC's
+// rule-budget intent accounting (admission.go) and the reliable southbound
+// channel both report failure through returned errors; a FlowMod or
+// CloseChannel error dropped with `_ =` or a bare call silently diverges
+// the MC's intent ledger from what the switches actually hold — the exact
+// drift the PR 5 reconciler exists to repair.
+//
+// Scope is deliberate: only calls whose callee is *defined* in a
+// control-plane package (internal/mic, internal/ctrlplane,
+// internal/flowtable, internal/transport) are checked, so test helpers and
+// I/O-writer plumbing elsewhere stay out of scope. Interface methods
+// attribute to the interface's defining package, so a drop through
+// mic.ControlPlane counts. Two discard shapes are flagged:
+//
+//   - a bare call statement whose callee returns an error,
+//   - an assignment binding an error result to the blank identifier.
+//
+// Deliberate discards (legacy wrappers, close-on-best-effort paths where
+// the error is provably nil or irrelevant) carry
+// `// lint:ignore errdrop <reason>`.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error results from control-plane (mic/ctrlplane/flowtable/transport) calls",
+	Run:  runErrDrop,
+}
+
+// ctrlPlanePkgs are the packages whose returned errors carry control-plane
+// state-divergence information.
+var ctrlPlanePkgs = map[string]bool{
+	"mic/internal/mic":       true,
+	"mic/internal/ctrlplane": true,
+	"mic/internal/flowtable": true,
+	"mic/internal/transport": true,
+}
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := nn.X.(*ast.CallExpr); ok {
+					checkBareCall(pass, call)
+				}
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, nn)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBareCall flags `f()` statements whose control-plane callee returns
+// an error nobody looks at.
+func checkBareCall(pass *Pass, call *ast.CallExpr) {
+	fn, sig := ctrlPlaneCallee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			pass.Reportf(call.Pos(), "error result of %s.%s discarded by bare call", fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+}
+
+// checkBlankAssign flags `_ = f()` / `v, _ := f()` where the blank slot is
+// an error from a control-plane callee.
+func checkBlankAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return // v1, _ = a, b assigns values, not call results
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, sig := ctrlPlaneCallee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	results := sig.Results()
+	for i, l := range as.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		// Single-result call assigned to one LHS, or tuple position i.
+		var rt types.Type
+		switch {
+		case len(as.Lhs) == 1 && results.Len() >= 1:
+			rt = results.At(results.Len() - 1).Type()
+		case i < results.Len():
+			rt = results.At(i).Type()
+		default:
+			continue
+		}
+		if isErrorType(rt) {
+			pass.Reportf(as.Pos(), "error result of %s.%s assigned to blank identifier", fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+}
+
+// ctrlPlaneCallee resolves call to its static callee if that callee is
+// defined in a control-plane package.
+func ctrlPlaneCallee(info *types.Info, call *ast.CallExpr) (*types.Func, *types.Signature) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || !ctrlPlanePkgs[fn.Pkg().Path()] {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, nil
+	}
+	return fn, sig
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

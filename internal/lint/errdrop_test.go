@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestErrDropGolden(t *testing.T) {
+	runTestdata(t, []*Analyzer{ErrDrop}, "errdrop")
+}

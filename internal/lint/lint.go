@@ -20,7 +20,8 @@ import (
 
 // An Analyzer describes one check: a name diagnostics are reported under
 // (and suppressed by), documentation, and a Run function applied once per
-// package.
+// package — or, for whole-program checks, a RunProject function applied
+// once to every package together.
 type Analyzer struct {
 	// Name identifies the check in diagnostics and in
 	// `// lint:ignore <name> <reason>` directives. It must look like a Go
@@ -39,6 +40,14 @@ type Analyzer struct {
 	// Run performs the analysis on one package and reports findings via
 	// pass.Reportf. Returning an error aborts the whole lint run.
 	Run func(pass *Pass) error
+
+	// RunProject, when set instead of Run, performs a whole-program
+	// analysis: it receives one Pass per loaded package (all sharing a
+	// FileSet) and reports each finding through the pass owning the file
+	// it is positioned in, so per-package suppression directives still
+	// apply. lockorder uses this — a lock-order cycle only exists across
+	// the union of every package's acquisition edges.
+	RunProject func(passes []*Pass) error
 }
 
 // A Pass presents one package to one analyzer.
@@ -52,6 +61,11 @@ type Pass struct {
 	// Deterministic reports whether the package is tagged with the
 	// `// lint:deterministic` directive.
 	Deterministic bool
+
+	// dirs carries the package's parsed directives so analyzers with
+	// directive-declared inputs (addrleak's lint:secret sources) can
+	// resolve them against declarations.
+	dirs *directives
 
 	report func(Diagnostic)
 }
@@ -110,8 +124,25 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
 	}
 
 	var findings []Finding
-	for _, pkg := range pkgs {
+	perPkgDirs := make([]*directives, len(pkgs))
+	perPkgDiags := make([][]Diagnostic, len(pkgs))
+	newPass := func(i int, a *Analyzer) *Pass {
+		idx := i
+		return &Pass{
+			Analyzer:      a,
+			Fset:          pkgs[i].Fset,
+			Files:         pkgs[i].Files,
+			Pkg:           pkgs[i].Types,
+			TypesInfo:     pkgs[i].TypesInfo,
+			Deterministic: perPkgDirs[i].deterministic,
+			dirs:          perPkgDirs[i],
+			report:        func(d Diagnostic) { perPkgDiags[idx] = append(perPkgDiags[idx], d) },
+		}
+	}
+
+	for i, pkg := range pkgs {
 		dirs := parseDirectives(pkg.Fset, pkg.Files)
+		perPkgDirs[i] = dirs
 		for _, bad := range dirs.malformed(known) {
 			findings = append(findings, Finding{
 				Position: pkg.Fset.Position(bad.pos),
@@ -120,28 +151,35 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
 			})
 		}
 
-		var diags []Diagnostic
 		for _, a := range analyzers {
-			if a.DeterministicOnly && !dirs.deterministic {
+			if a.Run == nil || (a.DeterministicOnly && !dirs.deterministic) {
 				continue
 			}
-			pass := &Pass{
-				Analyzer:      a,
-				Fset:          pkg.Fset,
-				Files:         pkg.Files,
-				Pkg:           pkg.Types,
-				TypesInfo:     pkg.TypesInfo,
-				Deterministic: dirs.deterministic,
-				report:        func(d Diagnostic) { diags = append(diags, d) },
-			}
-			if err := a.Run(pass); err != nil {
+			if err := a.Run(newPass(i, a)); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+	}
 
-		for _, d := range diags {
+	// Whole-program analyzers see every package at once; each reports into
+	// the diagnostic list of the package the finding is positioned in.
+	for _, a := range analyzers {
+		if a.RunProject == nil {
+			continue
+		}
+		passes := make([]*Pass, len(pkgs))
+		for i := range pkgs {
+			passes[i] = newPass(i, a)
+		}
+		if err := a.RunProject(passes); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+
+	for i, pkg := range pkgs {
+		for _, d := range perPkgDiags[i] {
 			pos := pkg.Fset.Position(d.Pos)
-			if dirs.suppressed(d.Check, pos) {
+			if perPkgDirs[i].suppressed(d.Check, pos) {
 				continue
 			}
 			findings = append(findings, Finding{Position: pos, Check: d.Check, Message: d.Message})
@@ -164,7 +202,9 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
 	return findings, nil
 }
 
-// Analyzers returns the full miclint suite in reporting order.
+// Analyzers returns the full miclint suite in reporting order: the
+// determinism checks (PR 3), then the anonymity-contract and
+// concurrency-safety checks (addrleak, lockorder, errdrop).
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRange, VirtClock, HandlerBlock, SeqLock}
+	return []*Analyzer{DetRange, VirtClock, HandlerBlock, SeqLock, AddrLeak, LockOrder, ErrDrop}
 }

@@ -1,0 +1,375 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder guards the genuinely concurrent rim of the codebase — cluster
+// heartbeats, the admission drain timer, client retry goroutines — against
+// the two mutex hazards a single-threaded simulator core never surfaces:
+//
+//   - ABBA deadlocks: it builds one global acquisition-order graph across
+//     every analyzed package (an edge A→B for each site that acquires B
+//     while holding A, including acquisitions inside statically-resolvable
+//     callees, depth-bounded) and reports every edge participating in a
+//     cycle;
+//   - locks held across southbound ack waits: a mutex held while issuing a
+//     ctrlplane.Channel FlowMod/Barrier/DumpFlows/... serializes the
+//     control plane behind a lossy, retransmitting link and — because the
+//     ack callback may need the same lock — can deadlock outright.
+//
+// Lock identity is the *class*, not the instance: `s.mu` on any value of
+// one struct type is one node, since two instances locked in opposite
+// orders by different goroutines are exactly the ABBA case. `defer
+// mu.Unlock()` keeps the lock held for the rest of the function, matching
+// handlerblock's treatment; goroutine bodies start with an empty held set
+// (they run concurrently with their creator).
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "builds a global mutex acquisition-order graph, reports ABBA cycles and locks held across southbound ack waits",
+	RunProject: runLockOrder,
+}
+
+const loMaxDepth = 4
+
+// southboundAcks are the ctrlplane.Channel methods that ride the reliable
+// southbound channel: each waits (in virtual time, across retransmits) for
+// switch acknowledgment. Holding a mutex across one stalls every other
+// user of that mutex for a network round trip — or forever, if the ack
+// callback wants the lock.
+var southboundAcks = map[string]bool{
+	"(*mic/internal/ctrlplane.Channel).FlowMod":          true,
+	"(*mic/internal/ctrlplane.Channel).FlowModResult":    true,
+	"(*mic/internal/ctrlplane.Channel).FlowModErr":       true,
+	"(*mic/internal/ctrlplane.Channel).GroupMod":         true,
+	"(*mic/internal/ctrlplane.Channel).GroupModResult":   true,
+	"(*mic/internal/ctrlplane.Channel).DeleteByCookie":   true,
+	"(*mic/internal/ctrlplane.Channel).PacketOut":        true,
+	"(*mic/internal/ctrlplane.Channel).Barrier":          true,
+	"(*mic/internal/ctrlplane.Channel).Echo":             true,
+	"(*mic/internal/ctrlplane.Channel).Heartbeat":        true,
+	"(*mic/internal/ctrlplane.Channel).DumpFlows":        true,
+	"(*mic/internal/ctrlplane.Channel).InstallAll":       true,
+	"(*mic/internal/ctrlplane.Channel).InstallAllResult": true,
+}
+
+// loSite is one acquisition location, kept with the pass that owns it so
+// the report lands in the right package's suppression scope.
+type loSite struct {
+	pos     token.Pos
+	passIdx int
+}
+
+// loEdge is one ordered pair of lock classes.
+type loEdge struct{ from, to string }
+
+type loWalker struct {
+	passes []*Pass
+	// decls indexes every function declaration in the program by its
+	// types.Func identity, with the pass whose TypesInfo covers its body.
+	decls map[types.Object]loDecl
+	// edges accumulates acquisition-order sites per ordered class pair.
+	edges map[loEdge][]loSite
+	// visited memoizes (function, held-set) walks.
+	visited  map[string]bool
+	reported map[token.Pos]bool
+}
+
+type loDecl struct {
+	fd      *ast.FuncDecl
+	passIdx int
+}
+
+func runLockOrder(passes []*Pass) error {
+	w := &loWalker{
+		passes:   passes,
+		decls:    map[types.Object]loDecl{},
+		edges:    map[loEdge][]loSite{},
+		visited:  map[string]bool{},
+		reported: map[token.Pos]bool{},
+	}
+	for i, pass := range passes {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+						w.decls[obj] = loDecl{fd, i}
+					}
+				}
+			}
+		}
+	}
+	// Scan every function as a root with an empty held set. Acquisition
+	// edges inside callees are found either here (when the caller holds a
+	// lock at the call) or when the callee is scanned as its own root.
+	for i, pass := range passes {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					w.scanStmts(fd.Body, i, map[string]bool{}, 0)
+				}
+			}
+		}
+	}
+	w.reportCycles()
+	return nil
+}
+
+// scanStmts walks a statement list in the package of passes[passIdx],
+// tracking held lock classes.
+func (w *loWalker) scanStmts(block *ast.BlockStmt, passIdx int, held map[string]bool, depth int) {
+	info := w.passes[passIdx].TypesInfo
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if fn := loCallee(info, call); fn != nil {
+					full := fn.FullName()
+					if lockNames[full] {
+						if class := w.lockClass(info, call); class != "" {
+							w.acquire(class, call.Pos(), passIdx, held)
+							held[class] = true
+						}
+						continue
+					}
+					if unlockNames[full] {
+						if class := w.lockClass(info, call); class != "" {
+							delete(held, class)
+						}
+						continue
+					}
+				}
+				w.handleCall(call, passIdx, held, depth)
+				continue
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held until return — the
+			// interesting window for ordering is everything after it runs.
+			if fn := loCallee(info, s.Call); fn != nil && unlockNames[fn.FullName()] {
+				continue
+			}
+			if len(held) > 0 {
+				w.handleCall(s.Call, passIdx, held, depth)
+			}
+			continue
+		case *ast.GoStmt:
+			// A goroutine runs concurrently: it starts with nothing held.
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				w.scanStmts(lit.Body, passIdx, map[string]bool{}, depth)
+			}
+			continue
+		case *ast.BlockStmt:
+			w.scanStmts(s, passIdx, copyClasses(held), depth)
+			continue
+		case *ast.IfStmt:
+			w.scanStmts(s.Body, passIdx, copyClasses(held), depth)
+			if els, ok := s.Else.(*ast.BlockStmt); ok {
+				w.scanStmts(els, passIdx, copyClasses(held), depth)
+			}
+			continue
+		case *ast.ForStmt:
+			w.scanStmts(s.Body, passIdx, copyClasses(held), depth)
+			continue
+		case *ast.RangeStmt:
+			w.scanStmts(s.Body, passIdx, copyClasses(held), depth)
+			continue
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.scanStmts(&ast.BlockStmt{List: cc.Body}, passIdx, copyClasses(held), depth)
+				}
+			}
+			continue
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					w.scanStmts(&ast.BlockStmt{List: cc.Body}, passIdx, copyClasses(held), depth)
+				}
+			}
+			continue
+		}
+		// Any other statement: if locks are held, calls buried in its
+		// expressions still count.
+		if len(held) > 0 {
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					w.handleCall(call, passIdx, held, depth)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// acquire records ordering edges from every held lock to the new one and
+// flags self-reacquisition.
+func (w *loWalker) acquire(class string, pos token.Pos, passIdx int, held map[string]bool) {
+	if held[class] {
+		w.report(passIdx, pos, "lock %s acquired while already held (self-deadlock on a non-reentrant mutex)", class)
+		return
+	}
+	for h := range held {
+		w.edges[loEdge{h, class}] = append(w.edges[loEdge{h, class}], loSite{pos, passIdx})
+	}
+}
+
+// handleCall checks southbound ack waits under a lock and descends into
+// statically-resolvable callees while locks are held.
+func (w *loWalker) handleCall(call *ast.CallExpr, passIdx int, held map[string]bool, depth int) {
+	info := w.passes[passIdx].TypesInfo
+	fn := loCallee(info, call)
+	if fn == nil {
+		return
+	}
+	if len(held) > 0 && southboundAcks[fn.FullName()] {
+		w.report(passIdx, call.Pos(),
+			"mutex %s held across southbound %s — the ack wait spans retransmits and its callback may need the lock",
+			firstClass(held), fn.Name())
+		return
+	}
+	d, ok := w.decls[types.Object(fn)]
+	if !ok || depth >= loMaxDepth || len(held) == 0 {
+		return
+	}
+	key := fn.FullName() + "|" + heldKey(held)
+	if w.visited[key] {
+		return
+	}
+	w.visited[key] = true
+	w.scanStmts(d.fd.Body, d.passIdx, copyClasses(held), depth+1)
+}
+
+// lockClass derives the lock-class node name for mu.Lock() / s.mu.Lock():
+// "pkg/path.Type.field" for struct-field mutexes, "pkg/path.name" for
+// package-level ones, "local name" for function locals.
+func (w *loWalker) lockClass(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch recv := sel.X.(type) {
+	case *ast.SelectorExpr:
+		if owner := fieldOwner(info, recv); owner != "" {
+			return owner + "." + recv.Sel.Name
+		}
+		if obj := info.Uses[recv.Sel]; obj != nil {
+			return loObjClass(obj)
+		}
+	case *ast.Ident:
+		if obj := info.Uses[recv]; obj != nil {
+			return loObjClass(obj)
+		}
+	}
+	return ""
+}
+
+func loObjClass(obj types.Object) string {
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return "local " + obj.Name()
+}
+
+func loCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func copyClasses(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+func heldKey(held map[string]bool) string {
+	ks := make([]string, 0, len(held))
+	for k := range held {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ",")
+}
+
+func firstClass(held map[string]bool) string {
+	return strings.SplitN(heldKey(held), ",", 2)[0]
+}
+
+// reportCycles flags every acquisition edge that lies on a cycle of the
+// global order graph, with the path back that closes it.
+func (w *loWalker) reportCycles() {
+	adj := map[string][]string{}
+	for e := range w.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for from := range adj {
+		sort.Strings(adj[from])
+	}
+	edges := make([]loEdge, 0, len(w.edges))
+	for e := range w.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		path := loPath(adj, e.to, e.from)
+		if path == nil {
+			continue
+		}
+		cycle := append([]string{e.from}, path...)
+		for _, site := range w.edges[e] {
+			w.report(site.passIdx, site.pos,
+				"acquiring %s while holding %s closes a lock-order cycle: %s",
+				e.to, e.from, strings.Join(cycle, " -> "))
+		}
+	}
+}
+
+// loPath returns a path from src to dst in adj (inclusive of both), or nil.
+func loPath(adj map[string][]string, src, dst string) []string {
+	type frame struct {
+		node string
+		path []string
+	}
+	seen := map[string]bool{src: true}
+	queue := []frame{{src, []string{src}}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		if f.node == dst {
+			return f.path
+		}
+		for _, next := range adj[f.node] {
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			queue = append(queue, frame{next, append(append([]string{}, f.path...), next)})
+		}
+	}
+	return nil
+}
+
+func (w *loWalker) report(passIdx int, pos token.Pos, format string, args ...any) {
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.passes[passIdx].Reportf(pos, format, args...)
+}

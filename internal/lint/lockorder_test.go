@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockOrderGolden(t *testing.T) {
+	runTestdata(t, []*Analyzer{LockOrder}, "lockorder")
+}

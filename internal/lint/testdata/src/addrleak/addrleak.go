@@ -1,0 +1,131 @@
+// Package addrleak is a miclint test fixture for the real-address taint
+// analysis: lint:secret sources, fmt/telemetry/header/serialization sinks,
+// interprocedural propagation, declassification, and directive drift.
+package addrleak
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mic/internal/addr"
+	"mic/internal/flowtable"
+	"mic/internal/metrics"
+	"mic/internal/packet"
+)
+
+// Registry mirrors the MC's hidden-service map.
+type Registry struct {
+	// lint:secret
+	hidden map[string]addr.IP
+	count  int // not secret: population counts are fine to report
+}
+
+// directLeak formats a secret field straight into an error string.
+func (r *Registry) directLeak(name string) error {
+	ip := r.hidden[name]
+	return fmt.Errorf("no route to %v", ip) // want `secret field hidden reaches fmt.Errorf`
+}
+
+// countsAreClean: sizes of secret containers carry no taint.
+func (r *Registry) countsAreClean() string {
+	return fmt.Sprintf("%d services, %d lookups", len(r.hidden), r.count)
+}
+
+// paramLeak: a named lint:secret parameter reaching fmt.
+// lint:secret real
+func paramLeak(real, fake addr.IP) string {
+	_ = fake
+	return fmt.Sprintf("endpoint %v", real) // want `secret real reaches fmt.Sprintf`
+}
+
+// fakeIsClean: the unmarked parameter of the same signature stays clean.
+// lint:secret real
+func fakeIsClean(real, fake addr.IP) string {
+	_ = real
+	return fmt.Sprintf("entry %v", fake)
+}
+
+// assignment propagation: through locals, composites and slices.
+// lint:secret src
+func propagates(src addr.IP) error {
+	pair := [2]addr.IP{src, 0}
+	hops := []addr.IP{pair[0]}
+	last := hops[len(hops)-1]
+	return fmt.Errorf("via %v", last) // want `secret src reaches fmt.Errorf`
+}
+
+// interprocedural: the secret flows through a same-package helper into a
+// sink buried one call deep.
+// lint:secret ep
+func callsHelper(ep addr.IP) string {
+	return describe(ep)
+}
+
+func describe(x addr.IP) string {
+	return fmt.Sprint(x) // want `secret ep reaches fmt.Sprint`
+}
+
+// returned taint: a helper deriving from a secret taints its caller.
+func (r *Registry) lookup(name string) addr.IP {
+	return r.hidden[name]
+}
+
+func (r *Registry) viaReturn(name string) error {
+	who := r.lookup(name)
+	return fmt.Errorf("resolved %v", who) // want `secret field hidden reaches fmt.Errorf`
+}
+
+// header writes: packet mutators, direct field stores, rewrite actions.
+// lint:secret ip
+func headerWrites(p *packet.Packet, ip addr.IP) {
+	p.SetSrcIP(ip) // want `secret ip written into packet header via SetSrcIP`
+	p.DstIP = ip   // want `secret ip written into packet header field DstIP`
+}
+
+// lint:secret ip
+func rewriteAction(ip addr.IP) flowtable.Action {
+	return flowtable.SetIPDst(ip) // want `secret ip written into header-rewrite action SetIPDst`
+}
+
+// lint:secret ip
+func declassified(ip addr.IP) flowtable.Action {
+	// lint:declassify addrleak fixture: sanctioned chain-end rewrite
+	return flowtable.SetIPSrc(ip)
+}
+
+// serialization sink: secrets marshaled into wire buffers.
+// lint:secret ip
+func serializes(buf []byte, ip addr.IP) {
+	binary.BigEndian.PutUint32(buf, uint32(ip)) // want `secret ip serialized into a wire buffer`
+}
+
+// telemetry emission sink.
+// lint:secret ip
+func emits(s *metrics.Sample, ip addr.IP) {
+	s.Add(float64(ip)) // want `secret ip reaches telemetry/trace emission`
+}
+
+// errors never carry taint: a scrubbed error wraps cleanly forever.
+// lint:secret ip
+func wrapsClean(ip addr.IP) error {
+	err := fmt.Errorf("refused") // the construction site has no tainted args
+	if ip == 0 {
+		return fmt.Errorf("setup: %w", err)
+	}
+	return err
+}
+
+// drifted: a lint:secret that anchors to no declaration is itself an
+// addrleak finding, so directives cannot silently rot. The want lives in a
+// block comment so the directive's own line stays parseable.
+/* want `lint:secret anchors to no struct field or function parameter` */ // lint:secret
+
+func notAnchored(ip addr.IP) addr.IP { return ip }
+
+// misnamed: naming a parameter the anchored line does not declare.
+/* want `lint:secret names gone, which is not declared` */ // lint:secret gone
+func misnamed(ip addr.IP) addr.IP { return ip }
+
+// ambiguous: a bare directive over a multi-declaration line must name one.
+/* want `lint:secret anchors to 2 declarations` */ // lint:secret
+func ambiguous(a, b addr.IP) addr.IP { return a }

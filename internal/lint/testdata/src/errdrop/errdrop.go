@@ -1,0 +1,49 @@
+// Package errdrop is a miclint test fixture: discarded control-plane
+// errors via bare calls and blank assignments, the out-of-scope callees
+// that must stay silent, and a reviewed suppression.
+package errdrop
+
+import (
+	"fmt"
+
+	"mic/internal/flowtable"
+	"mic/internal/mic"
+	"mic/internal/sim"
+)
+
+// Bare call: a flow-table install whose refusal vanishes.
+func bareInstall(t *flowtable.Table, e *flowtable.Entry, now sim.Time) {
+	t.TryInsert(e, now) // want `error result of flowtable.TryInsert discarded by bare call`
+}
+
+// Blank assignment of a single error result.
+func blankInstall(t *flowtable.Table, e *flowtable.Entry, now sim.Time) {
+	_ = t.TryInsert(e, now) // want `error result of flowtable.TryInsert assigned to blank identifier`
+}
+
+// Blank error slot of a multi-result control-plane call.
+func blankTuple(mc *mic.MC) mic.ChannelOptions {
+	ip, _ := mc.ResolveTarget("svc") // want `error result of mic.ResolveTarget assigned to blank identifier`
+	_ = ip
+	return mic.ChannelOptions{}
+}
+
+// Handled: binding and checking the error is the expected shape.
+func handled(t *flowtable.Table, e *flowtable.Entry, now sim.Time) error {
+	if err := t.TryInsert(e, now); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Out of scope: fmt is not a control-plane package, so its (n, err)
+// results may be dropped without comment.
+func outOfScope() {
+	fmt.Println("status")
+}
+
+// Reviewed suppression: a best-effort teardown.
+func suppressed(mc *mic.MC) {
+	// lint:ignore errdrop fixture: best-effort close on a teardown path, nobody is left to observe the error
+	_ = mc.CloseChannel(1, nil)
+}

@@ -1,0 +1,121 @@
+// Package lockorder is a miclint test fixture: ABBA acquisition cycles,
+// self-reacquisition, interprocedural edges, locks held across southbound
+// ack waits, and the patterns that must stay silent (goroutine bodies,
+// properly released locks, reviewed suppressions).
+package lockorder
+
+import (
+	"sync"
+
+	"mic/internal/ctrlplane"
+	"mic/internal/netsim"
+)
+
+type server struct {
+	mu    sync.Mutex
+	index sync.Mutex
+}
+
+// Classic ABBA: both orders exist, so both closing edges report.
+func lockAB(s *server) {
+	s.mu.Lock()
+	s.index.Lock() // want `acquiring .*index while holding .*mu closes a lock-order cycle`
+	s.index.Unlock()
+	s.mu.Unlock()
+}
+
+func lockBA(s *server) {
+	s.index.Lock()
+	s.mu.Lock() // want `acquiring .*mu while holding .*index closes a lock-order cycle`
+	s.mu.Unlock()
+	s.index.Unlock()
+}
+
+// Self-reacquisition of a non-reentrant mutex.
+func reentrant(s *server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want `lock .*mu acquired while already held`
+}
+
+// Interprocedural: the A→B edge lives inside a callee; the reverse order
+// in deepBA closes the cycle, so the callee's acquisition reports too.
+type nested struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+func deepAB(n *nested) {
+	n.outer.Lock()
+	defer n.outer.Unlock()
+	grabInner(n)
+}
+
+func grabInner(n *nested) {
+	n.inner.Lock() // want `acquiring .*inner while holding .*outer closes a lock-order cycle`
+	n.inner.Unlock()
+}
+
+func deepBA(n *nested) {
+	n.inner.Lock()
+	n.outer.Lock() // want `acquiring .*outer while holding .*inner closes a lock-order cycle`
+	n.outer.Unlock()
+	n.inner.Unlock()
+}
+
+// Southbound ack waits under a lock: plain, and kept-held-by-defer.
+type ctrl struct {
+	mu sync.Mutex
+	ch *ctrlplane.Channel
+}
+
+func ackUnderLock(c *ctrl, sw *netsim.Switch) {
+	c.mu.Lock()
+	c.ch.Barrier(sw, func(ok bool) {}) // want `held across southbound Barrier`
+	c.mu.Unlock()
+}
+
+func ackUnderDeferredLock(c *ctrl, sw *netsim.Switch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ch.Echo(sw, func(alive bool) {}) // want `held across southbound Echo`
+}
+
+// Released before the wait: no finding.
+func ackAfterUnlock(c *ctrl, sw *netsim.Switch) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.ch.Barrier(sw, func(ok bool) {})
+}
+
+// Reviewed suppression: a deliberate hold across a probe.
+func ackSuppressed(c *ctrl, sw *netsim.Switch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// lint:ignore lockorder fixture: reviewed decision to probe while holding the state lock
+	c.ch.Echo(sw, func(alive bool) {})
+}
+
+// Goroutine bodies start with an empty held set: g1 holds ga while a
+// goroutine takes gb, g2 takes gb then ga. Without the concurrency rule
+// this would register as a (false) cycle and fail the golden run.
+type gpair struct {
+	ga sync.Mutex
+	gb sync.Mutex
+}
+
+func g1(p *gpair) {
+	p.ga.Lock()
+	go func() {
+		p.gb.Lock()
+		p.gb.Unlock()
+	}()
+	p.ga.Unlock()
+}
+
+func g2(p *gpair) {
+	p.gb.Lock()
+	p.ga.Lock()
+	p.ga.Unlock()
+	p.gb.Unlock()
+}

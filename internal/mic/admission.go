@@ -456,7 +456,7 @@ func (mc *MC) upgradeChannel(st *channelState) bool {
 	if initHost == nil {
 		return false
 	}
-	respIP := st.info.Responder
+	respIP := st.responder
 	detectedAt := mc.Net.Eng.Now()
 	snap := snapFlow(st, 0)
 	flowMods, flowInfo, err := mc.computeFlow(st, st.info, initHost.ID, respIP, st.opts, nil)

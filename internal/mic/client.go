@@ -40,7 +40,7 @@ type ControlPlane interface {
 	EstablishChannel(initiator addr.IP, target string, opts ChannelOptions, cb func(*ChannelInfo, error))
 	CloseChannel(id uint64, cb func()) error
 	SubscribeRepair(fn func(RepairEvent))
-	SubscribeChannelDown(fn func(id uint64, initiator addr.IP, err error))
+	SubscribeChannelDown(fn func(id uint64, err error))
 }
 
 // Client is the initiator-side MIC library: a socket-like API that hides
@@ -121,7 +121,7 @@ func NewClientSeeded(stack *transport.Stack, mc ControlPlane, salt uint64) *Clie
 		pending:  make(map[string][]*chanWaiter),
 		streams:  make(map[uint64][]*Stream),
 	}
-	mc.SubscribeChannelDown(func(id uint64, _ addr.IP, err error) { c.channelDown(id, err) })
+	mc.SubscribeChannelDown(func(id uint64, err error) { c.channelDown(id, err) })
 	mc.SubscribeRepair(func(ev RepairEvent) {
 		if ev.Err != nil {
 			return // terminal; the channel-down subscription handles it
@@ -270,6 +270,7 @@ func (c *Client) withChannel(target string, w *chanWaiter) {
 		}
 		if err == nil {
 			if len(live) == 0 {
+				// lint:ignore errdrop every waiter canceled before setup finished; closing the orphan channel is best-effort and nobody is left to receive the error
 				_ = c.MC.CloseChannel(info.ID, nil)
 				return
 			}
@@ -410,7 +411,7 @@ func (c *Client) StartIdleNotifier(interval time.Duration) (stop func()) {
 		now := eng.Now()
 		for target, cc := range c.channels {
 			if now.Sub(cc.lastUsed) >= interval {
-				// Errors cannot occur here: the channel is cached.
+				// lint:ignore errdrop errors cannot occur here: the channel is cached, and idle teardown is best-effort anyway
 				_ = c.CloseChannel(target, nil)
 			}
 		}

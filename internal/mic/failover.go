@@ -153,7 +153,7 @@ type Cluster struct {
 	needsReconcile map[topo.NodeID]bool
 
 	repairSubs []func(RepairEvent)
-	downSubs   []func(id uint64, initiator addr.IP, err error)
+	downSubs   []func(id uint64, err error)
 }
 
 // NewCluster builds the failover group: one active MC (which installs common
@@ -239,9 +239,9 @@ func (c *Cluster) addMember(mc *MC) {
 			fn(ev)
 		}
 	})
-	mc.SubscribeChannelDown(func(id uint64, initiator addr.IP, err error) {
+	mc.SubscribeChannelDown(func(id uint64, err error) {
 		for _, fn := range c.downSubs {
-			fn(id, initiator, err)
+			fn(id, err)
 		}
 	})
 }
@@ -730,7 +730,7 @@ func (c *Cluster) SubscribeRepair(fn func(RepairEvent)) {
 }
 
 // SubscribeChannelDown implements ControlPlane.
-func (c *Cluster) SubscribeChannelDown(fn func(id uint64, initiator addr.IP, err error)) {
+func (c *Cluster) SubscribeChannelDown(fn func(id uint64, err error)) {
 	c.downSubs = append(c.downSubs, fn)
 }
 
@@ -760,6 +760,7 @@ func (c *Cluster) EstablishChannel(initiator addr.IP, target string, opts Channe
 				// A retry superseded this attempt; its late success would be
 				// an unobserved duplicate — release it.
 				if err == nil && info != nil {
+					// lint:ignore errdrop releasing a superseded duplicate is best-effort; the caller already got its answer from the retry
 					_ = c.CloseChannel(info.ID, nil)
 				}
 				return

@@ -222,6 +222,7 @@ func (mc *MC) settleRepair(id uint64, job *repairJob, err error) {
 		mc.RepairFailures++
 		if st, live := mc.channels[id]; live {
 			initiator := st.initiator
+			// lint:ignore errdrop the channel is terminally unrepairable; the close error is subsumed by the ChannelDown notification below
 			_ = mc.CloseChannel(id, nil)
 			mc.emitChannelDown(id, initiator, fmt.Errorf("mic: channel %d unrepairable after %d attempts: %w", id, job.attempts, err))
 		}

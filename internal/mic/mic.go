@@ -187,18 +187,24 @@ type FlowInfo struct {
 	MNs   []topo.NodeID
 }
 
-// ChannelInfo is the MC's acknowledgement to a channel request.
+// ChannelInfo is the MC's acknowledgement to a channel request. It is
+// handed to the dialing client, so it carries only what the initiator may
+// see: fake entry addresses, paths, MN sets. The responder's real address
+// stays MC-side in channelState.
 type ChannelInfo struct {
-	ID        uint64
-	Responder addr.IP // real responder (kept MC-side; clients get entries)
-	Flows     []FlowInfo
+	ID    uint64
+	Flows []FlowInfo
 }
 
-// channelState is the MC's bookkeeping for one live channel.
+// channelState is the MC's bookkeeping for one live channel. The real
+// endpoint pair lives here — and only here — outside the journal.
 type channelState struct {
-	id        uint64
-	info      *ChannelInfo
-	initiator addr.IP
+	id   uint64
+	info *ChannelInfo
+	// lint:secret
+	initiator addr.IP // real dialing endpoint
+	// lint:secret
+	responder addr.IP // real responder; clients get entry addresses instead
 	opts      ChannelOptions
 	epoch     uint32 // bumped per repair; part of the rule cookie
 	gen       uint32 // controller generation that installed the current epoch
@@ -264,8 +270,9 @@ type MC struct {
 	// classifies as cid under every relevant check the MC performs.
 	CFLabel addr.Label
 
-	flowIDs   *idAllocator
-	hidden    map[string]addr.IP
+	flowIDs *idAllocator
+	// lint:secret
+	hidden    map[string]addr.IP // hidden-service name -> real host address
 	channels  map[uint64]*channelState
 	nextChan  uint64
 	nextGroup uint32
@@ -338,9 +345,13 @@ type MC struct {
 	// repairSubs and downSubs are the multi-listener versions of OnRepair
 	// and OnChannelDown: every Client subscribes so its streams learn about
 	// repairs (re-probe, rebalance) and terminal losses (clean error). The
-	// single-callback fields above remain for harnesses and examples.
+	// single-callback fields above remain for harnesses and examples —
+	// OnChannelDown is the omniscient-observer hook and still receives the
+	// initiator; subscriptions are client-facing and deliberately do not:
+	// broadcasting each downed channel's real initiator to every subscribed
+	// client would tell every tenant who else is dialing.
 	repairSubs []func(RepairEvent)
-	downSubs   []func(id uint64, initiator addr.IP, err error)
+	downSubs   []func(id uint64, err error)
 
 	// Repairs and RepairFailures count completed self-healing jobs.
 	Repairs        uint64
@@ -565,8 +576,11 @@ func (mc *MC) SubscribeRepair(fn func(RepairEvent)) {
 	mc.repairSubs = append(mc.repairSubs, fn)
 }
 
-// SubscribeChannelDown adds a listener for terminal channel loss.
-func (mc *MC) SubscribeChannelDown(fn func(id uint64, initiator addr.IP, err error)) {
+// SubscribeChannelDown adds a listener for terminal channel loss. The
+// listener learns the channel ID and the terminal error only; the real
+// initiator stays MC-side (clients correlate by ID, which they were
+// handed at setup).
+func (mc *MC) SubscribeChannelDown(fn func(id uint64, err error)) {
 	mc.downSubs = append(mc.downSubs, fn)
 }
 
@@ -581,13 +595,14 @@ func (mc *MC) emitRepair(ev RepairEvent) {
 }
 
 // emitChannelDown fans a terminal channel loss out to the OnChannelDown
-// field and subscribers.
+// field and subscribers. Only the omniscient harness hook sees the
+// initiator; client-facing subscriptions get the ID and error.
 func (mc *MC) emitChannelDown(id uint64, initiator addr.IP, err error) {
 	if mc.OnChannelDown != nil {
 		mc.OnChannelDown(id, initiator, err)
 	}
 	for _, fn := range mc.downSubs {
-		fn(id, initiator, err)
+		fn(id, err)
 	}
 }
 
@@ -613,13 +628,16 @@ func (mc *MC) PacketIn(sw *netsim.Switch, inPort int, p *packet.Packet) {
 }
 
 // RegisterHiddenService maps a service nickname to its real host, the
-// paper's MC-resident substitute for rendezvous points (Sec IV-D).
+// paper's MC-resident substitute for rendezvous points (Sec IV-D). The
+// registration error deliberately names only the nickname: the real host
+// behind a hidden service is exactly what the mapping exists to conceal.
+// lint:secret ip
 func (mc *MC) RegisterHiddenService(name string, ip addr.IP) error {
 	if _, dup := mc.hidden[name]; dup {
 		return fmt.Errorf("mic: hidden service %q already registered", name)
 	}
 	if mc.Net.HostByIP(ip) == nil {
-		return fmt.Errorf("mic: hidden service %q names unknown host %v", name, ip)
+		return fmt.Errorf("mic: hidden service %q names a host this fabric does not contain", name)
 	}
 	mc.hidden[name] = ip
 	mc.journalHidden(name, ip)

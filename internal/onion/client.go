@@ -52,6 +52,10 @@ var _ transport.ByteStream = (*Circuit)(nil)
 // Dial builds a circuit through nRelays random relays and connects to the
 // destination server. cb fires when the exit reports the connection open —
 // the interval the paper measures as Tor's route setup time (Fig 7).
+// The destination is the client's secret: on the wire it appears only
+// inside onion-encrypted blobs (the exit, which must connect, is the one
+// party that legitimately learns it).
+// lint:secret dst
 func (c *Client) Dial(nRelays int, dst addr.IP, port uint16, cb func(*Circuit, error)) {
 	route, err := c.Dir.PickRoute(c.rng, nRelays, c.Stack.Host.IP, dst)
 	if err != nil {
@@ -64,6 +68,7 @@ func (c *Client) Dial(nRelays int, dst addr.IP, port uint16, cb func(*Circuit, e
 // DialRoute builds a circuit through the given relays (telescoping: CREATE
 // to the first, then one EXTEND round trip per additional relay), then
 // BEGINs the exit connection.
+// lint:secret dst
 func (c *Client) DialRoute(route []*Relay, dst addr.IP, port uint16, cb func(*Circuit, error)) {
 	if len(route) == 0 {
 		cb(nil, fmt.Errorf("onion: empty route"))
@@ -144,6 +149,7 @@ func (circ *Circuit) handleCell(cl cell, dst addr.IP, port uint16, cb func(*Circ
 }
 
 // advance sends the next EXTEND, or BEGIN once all hops are built.
+// lint:secret dst
 func (circ *Circuit) advance(dst addr.IP, port uint16) {
 	c := circ.client
 	if len(circ.hops) < len(circ.route) {
@@ -158,6 +164,7 @@ func (circ *Circuit) advance(dst addr.IP, port uint16) {
 		return
 	}
 	payload := make([]byte, 6)
+	// lint:declassify addrleak onion boundary: the BEGIN payload is wrapped in every hop's layer by sendRelay before touching the wire; only the exit decrypts it
 	binary.BigEndian.PutUint32(payload[0:4], uint32(dst))
 	binary.BigEndian.PutUint16(payload[4:6], port)
 	circ.sendRelay(relayBegin, payload, len(circ.hops))
