@@ -52,8 +52,19 @@ func main() {
 		trials   = flag.Int("trials", 0, "trials per data point (0 = default)")
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 		jsonPath = flag.String("json", "", "also write all results as JSON to this file")
+		topoSel  = flag.String("topo", "", "fabric for scale experiments: k8, k16 (default k8)")
+		pr9Path  = flag.String("pr9", "", "run the channel-setup-throughput bench and write its report to this file")
 	)
 	flag.Parse()
+
+	if *pr9Path != "" {
+		if err := harness.WriteSetupBenchReport(*pr9Path, harness.RunConfig{Seed: *seed, Quick: *quick, Topo: *topoSel}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *pr9Path)
+		return
+	}
 
 	if *list {
 		for _, e := range harness.All() {
@@ -61,7 +72,7 @@ func main() {
 		}
 		return
 	}
-	cfg := harness.RunConfig{Seed: *seed, Trials: *trials, Quick: *quick}
+	cfg := harness.RunConfig{Seed: *seed, Trials: *trials, Quick: *quick, Topo: *topoSel}
 	var exps []harness.Experiment
 	switch {
 	case *all:

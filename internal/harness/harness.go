@@ -15,6 +15,16 @@ type RunConfig struct {
 	Seed   uint64 // base seed; trial i uses Seed + i
 	Trials int    // independent repetitions per data point
 	Quick  bool   // smaller transfers, fewer points (for CI)
+	Topo   string // fabric selector for scale experiments: "k8", "k16" (default "k8")
+}
+
+// topoArity parses the Topo selector into a fat-tree arity.
+func (c RunConfig) topoArity() int {
+	var k int
+	if _, err := fmt.Sscanf(c.Topo, "k%d", &k); err == nil && k >= 2 {
+		return k
+	}
+	return 8
 }
 
 // DefaultRunConfig mirrors the paper's repetition style.

@@ -118,7 +118,7 @@ func TestMultiFlowShapeMatchesFig9b(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"7", "8", "9a", "9b", "9c", "a1", "a2", "a3", "a4", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "sc"}
+	want := []string{"7", "8", "9a", "9b", "9c", "a1", "a2", "a3", "a4", "s1", "s10", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "sc"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// quickBench is the test-sized storm: small enough to run in CI, large
+// enough that the 1-shard cache-off planner is the bottleneck.
+func quickBench(shards int, disableCache bool) SetupBenchOptions {
+	return SetupBenchOptions{
+		Seed: 7, Arity: 8, Shards: shards, DisableCache: disableCache,
+		MaxDials: 300,
+	}
+}
+
+// TestSetupBenchScaleOutSpeedup is the scale-out acceptance bar: four
+// shards plus the plan cache must establish channels at >= 3x the rate of
+// the single-controller cache-off pipeline on a fat-tree(8), with every
+// dial acknowledged.
+func TestSetupBenchScaleOutSpeedup(t *testing.T) {
+	base, err := RunSetupBench(quickBench(1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := RunSetupBench(quickBench(4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]*SetupBenchResult{"baseline": base, "sharded": best} {
+		if r.OK+r.Failed != r.Dials {
+			t.Fatalf("%s: %d of %d dials never answered", name, r.Dials-r.OK-r.Failed, r.Dials)
+		}
+	}
+	if base.CacheHits != 0 {
+		t.Fatalf("cache-off baseline recorded %d cache hits", base.CacheHits)
+	}
+	if best.CacheHits == 0 {
+		t.Fatal("cached run recorded no cache hits")
+	}
+	if best.Batches == 0 || best.BatchedMods == 0 {
+		t.Fatal("no southbound batching recorded")
+	}
+	if ratio := best.ChannelsPerSec / base.ChannelsPerSec; ratio < 3 {
+		t.Fatalf("scale-out speedup = %.2fx (%.0f vs %.0f channels/s), want >= 3x",
+			ratio, best.ChannelsPerSec, base.ChannelsPerSec)
+	}
+}
+
+// TestSetupBenchDeterministic: the bench is part of the determinism
+// contract — identical options must reproduce identical results.
+func TestSetupBenchDeterministic(t *testing.T) {
+	a, err := RunSetupBench(quickBench(4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSetupBench(quickBench(4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed bench results differ:\n a: %+v\n b: %+v", a, b)
+	}
+}

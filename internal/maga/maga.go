@@ -60,6 +60,24 @@ func (w Widths) Validate() error {
 	return nil
 }
 
+// FitWidths returns the widths for a fabric of nSwitches: the smallest SID
+// whose class space holds every switch plus the common-flow class, SPart one
+// bit wider (the Validate minimum, leaving the rest of the 20-bit label to
+// flow IDs). Growing SID shrinks FPart, so large fabrics trade concurrent
+// m-flow count for switch count — FatTree(16)'s 320 switches leave 10 flow
+// bits. Falls back to DefaultWidths when those already fit.
+func FitWidths(nSwitches int) Widths {
+	d := DefaultWidths()
+	if uint32(nSwitches)+1 <= d.MaxSIDs() {
+		return d
+	}
+	sid := d.SID
+	for sid < 19 && (1<<sid) < nSwitches+1 {
+		sid++
+	}
+	return Widths{SID: sid, SPart: sid + 1, FPart: 20 - (sid + 1)}
+}
+
 // MaxSIDs returns how many distinct switch classes the widths support
 // (one is reserved for common flows).
 func (w Widths) MaxSIDs() uint32 { return 1 << w.SID }

@@ -25,6 +25,38 @@ func TestWidthsValidate(t *testing.T) {
 	}
 }
 
+func TestFitWidths(t *testing.T) {
+	// Small fabrics keep the defaults; FatTree(4) has 20 switches.
+	if got := FitWidths(20); got != DefaultWidths() {
+		t.Fatalf("FitWidths(20) = %+v, want defaults", got)
+	}
+	// The default 6 SID bits hold 63 MNs + the common class.
+	if got := FitWidths(63); got != DefaultWidths() {
+		t.Fatalf("FitWidths(63) = %+v, want defaults", got)
+	}
+	cases := []struct {
+		switches int
+		sid      int
+	}{
+		{64, 7},  // 64 + CF class overflows 6 bits
+		{80, 7},  // FatTree(8)
+		{320, 9}, // FatTree(16)
+		{1000, 10},
+	}
+	for _, c := range cases {
+		w := FitWidths(c.switches)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("FitWidths(%d) = %+v invalid: %v", c.switches, w, err)
+		}
+		if w.SID != c.sid {
+			t.Errorf("FitWidths(%d).SID = %d, want %d", c.switches, w.SID, c.sid)
+		}
+		if w.MaxSIDs() < uint32(c.switches)+1 {
+			t.Errorf("FitWidths(%d) holds only %d classes", c.switches, w.MaxSIDs())
+		}
+	}
+}
+
 func TestRotl(t *testing.T) {
 	if got := rotl(0b0001, 1, 4); got != 0b0010 {
 		t.Fatalf("rotl = %b", got)

@@ -496,5 +496,9 @@ func (mc *MC) Telemetry() *metrics.Counters {
 	c.Set("mflow_rules_evicted", mc.RulesEvicted)
 	c.Set("miss_reinstalls", mc.MissReinstalls)
 	c.Set("table_full_replies", mc.Ch.TableFulls)
+	c.Set("path_cache_hits", mc.PathCacheHits)
+	c.Set("path_cache_misses", mc.PathCacheMisses)
+	c.Set("sb_batches", mc.Ch.Batches)
+	c.Set("sb_batched_mods", mc.Ch.BatchedMods)
 	return c
 }

@@ -189,7 +189,7 @@ func NewCluster(net *netsim.Network, cfg Config, ccfg ClusterConfig) (*Cluster, 
 	primary.journal = c.Journal
 	c.addMember(primary)
 	for i := 0; i < c.CCfg.Standbys; i++ {
-		sb, err := newMC(net, c.Cfg, true)
+		sb, err := newMC(net, c.Cfg, mcPassive)
 		if err != nil {
 			return nil, err
 		}

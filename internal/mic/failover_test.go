@@ -143,7 +143,7 @@ func TestTakeoverReconciliationCleansStaleRules(t *testing.T) {
 		}
 		s.Send(data)
 	})
-	f.eng.RunFor(3 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 	info, ok := client.Channel(target)
 	if !ok {
 		t.Fatal("no channel after dial")
@@ -193,7 +193,7 @@ func TestReconciliationOffLeavesStaleRules(t *testing.T) {
 		}
 		s.Send(data)
 	})
-	f.eng.RunFor(3 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 	info, _ := client.Channel(target)
 	cutFirstInterSwitchLink(t, &fixture{eng: f.eng, net: f.net, graph: f.graph}, info.Flows[0].Path)
 	f.eng.After(time.Millisecond, func() { f.net.SetCtrlHostDown(0, true) })

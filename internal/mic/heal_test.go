@@ -46,7 +46,7 @@ func TestAutoRepairSurvivesLinkFailure(t *testing.T) {
 		}
 		s.Send(data)
 	})
-	f.eng.RunFor(3 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 	info, _ := client.Channel(target)
 	oldEntry := info.Flows[0].Entry
 	cutNode, cutPort := cutFirstInterSwitchLink(t, f, info.Flows[0].Path)
@@ -93,7 +93,7 @@ func TestAutoRepairSurvivesSwitchFailure(t *testing.T) {
 		}
 		s.Send(data)
 	})
-	f.eng.RunFor(2 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 	info, _ := client.Channel(target)
 	var victim topo.NodeID = -1
 	for _, node := range info.Flows[0].Path[2 : len(info.Flows[0].Path)-2] {
@@ -135,7 +135,7 @@ func TestAutoRepairDoubleFailure(t *testing.T) {
 		}
 		s.Send(data)
 	})
-	f.eng.RunFor(5 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 	info, _ := client.Channel(target)
 	type cut struct {
 		node topo.NodeID
@@ -229,7 +229,7 @@ func TestAutoRepairTerminalWhenNoPath(t *testing.T) {
 		established = true
 		s.Send(pattern(100_000))
 	})
-	f.eng.RunFor(5 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 	if !established {
 		t.Fatal("channel never established")
 	}
@@ -308,7 +308,7 @@ func TestAutoRepairViaProber(t *testing.T) {
 		}
 		s.Send(data)
 	})
-	f.eng.RunFor(2 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 	info, _ := client.Channel(target)
 	var victim topo.NodeID = -1
 	for _, node := range info.Flows[0].Path[2 : len(info.Flows[0].Path)-2] {
@@ -345,7 +345,7 @@ func TestStaleRulesPurgedOnSwitchRestore(t *testing.T) {
 		}
 		s.Send(pattern(50_000))
 	})
-	f.eng.RunFor(2 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 	info, _ := client.Channel(target)
 	var victim topo.NodeID = -1
 	for _, node := range info.Flows[0].Path[2 : len(info.Flows[0].Path)-2] {
@@ -396,7 +396,7 @@ func TestIDRecyclingAcrossRepairEpochs(t *testing.T) {
 				t.Fatalf("cycle %d dial: %v", cycle, err)
 			}
 		})
-		f.eng.RunFor(2 * time.Millisecond)
+		f.eng.RunFor(6 * time.Millisecond)
 		info, _ := client.Channel(target)
 		idsBefore := append([]uint32(nil), f.mc.channels[info.ID].flowIDs...)
 		// Two repair epochs per cycle, via real failure events.

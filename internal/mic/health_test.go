@@ -56,7 +56,7 @@ func TestFlowHealthLifecycle(t *testing.T) {
 		}
 		str = s
 	})
-	f.eng.RunFor(5 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 	if str == nil {
 		t.Fatal("stream never opened")
 	}
@@ -157,7 +157,7 @@ func TestRetransmitUnwedgesBlackholedFlow(t *testing.T) {
 			}
 			str = s
 		})
-		f.eng.RunFor(5 * time.Millisecond)
+		f.eng.RunFor(6 * time.Millisecond)
 		if str == nil {
 			t.Fatal("stream never opened")
 		}
@@ -238,7 +238,7 @@ func TestStreamFailsCleanOnUnrepairableChannel(t *testing.T) {
 		str = s
 		s.Send(pattern(100_000))
 	})
-	f.eng.RunFor(5 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 	if str == nil {
 		t.Fatal("stream never opened")
 	}
@@ -293,7 +293,7 @@ func TestRepairTriggersReprobe(t *testing.T) {
 		}
 		str = s
 	})
-	f.eng.RunFor(5 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 	if str == nil {
 		t.Fatal("stream never opened")
 	}

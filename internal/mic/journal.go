@@ -52,6 +52,13 @@ type Record struct {
 	Seq  uint64
 	Kind RecordKind
 
+	// Shard identifies which controller shard wrote the record (0 for a
+	// standalone MC). A sharded standby routes each record to the matching
+	// shard on replay, and the per-shard counter high-waters below are
+	// keyed on it — shard ID spaces are disjoint, so one shard's AllocNext
+	// must never clamp another's allocator.
+	Shard uint32
+
 	// RecHidden. The journal is the one sanctioned replication path for
 	// real addresses: standbys must rebuild the hidden map and the real
 	// endpoint pair to serve repairs and closes after takeover. The fields
@@ -107,6 +114,13 @@ type Journal struct {
 	groupHigh uint32 // highest journaled NextGroup
 	chanHigh  uint64 // highest opened channel ID + 1
 
+	// Per-shard counter high-waters, keyed by Record.Shard. A standalone
+	// MC writes every record with shard 0, so shard 0's values equal the
+	// scalars above and single-controller failover is unchanged.
+	allocHighShard map[uint32]uint32
+	groupHighShard map[uint32]uint32
+	chanHighShard  map[uint32]uint64
+
 	// Appends and Snapshots count journal activity for reports.
 	Appends   uint64
 	Snapshots uint64
@@ -130,6 +144,11 @@ func (j *Journal) Append(r Record) {
 	j.seq++
 	r.Seq = j.seq
 	j.Appends++
+	if j.allocHighShard == nil {
+		j.allocHighShard = make(map[uint32]uint32)
+		j.groupHighShard = make(map[uint32]uint32)
+		j.chanHighShard = make(map[uint32]uint64)
+	}
 	switch r.Kind {
 	case RecOpen, RecUpdate:
 		// RecUpdate carries AllocNext too: a degraded-channel upgrade
@@ -137,12 +156,21 @@ func (j *Journal) Append(r Record) {
 		if r.Kind == RecOpen && r.Channel+1 > j.chanHigh {
 			j.chanHigh = r.Channel + 1
 		}
+		if r.Kind == RecOpen && r.Channel+1 > j.chanHighShard[r.Shard] {
+			j.chanHighShard[r.Shard] = r.Channel + 1
+		}
 		if r.AllocNext > j.allocHigh {
 			j.allocHigh = r.AllocNext
+		}
+		if r.AllocNext > j.allocHighShard[r.Shard] {
+			j.allocHighShard[r.Shard] = r.AllocNext
 		}
 	}
 	if r.NextGroup > j.groupHigh {
 		j.groupHigh = r.NextGroup
+	}
+	if r.NextGroup > j.groupHighShard[r.Shard] {
+		j.groupHighShard[r.Shard] = r.NextGroup
 	}
 	j.tail = append(j.tail, r)
 	for _, f := range j.followers {
@@ -177,6 +205,17 @@ func (j *Journal) GroupHigh() uint32 { return j.groupHigh }
 
 // ChanHigh returns one past the highest channel ID ever opened.
 func (j *Journal) ChanHigh() uint64 { return j.chanHigh }
+
+// AllocHighShard, GroupHighShard and ChanHighShard are the per-shard
+// variants of the high-water getters: a promoted shard restores its own
+// counters from records tagged with its shard ID only.
+func (j *Journal) AllocHighShard(shard uint32) uint32 { return j.allocHighShard[shard] }
+
+// GroupHighShard returns shard's group-ID counter high-water mark.
+func (j *Journal) GroupHighShard(shard uint32) uint32 { return j.groupHighShard[shard] }
+
+// ChanHighShard returns one past the highest channel ID shard ever opened.
+func (j *Journal) ChanHighShard(shard uint32) uint64 { return j.chanHighShard[shard] }
 
 // compact folds the log down to one record per live fact: hidden services in
 // registration order, then live channels in open order with their latest
@@ -239,7 +278,7 @@ func (mc *MC) journalHidden(name string, ip addr.IP) {
 	if mc.journal == nil {
 		return
 	}
-	mc.journal.Append(Record{Kind: RecHidden, Name: name, IP: ip})
+	mc.journal.Append(Record{Kind: RecHidden, Shard: mc.shardID, Name: name, IP: ip})
 }
 
 func (mc *MC) journalOpen(st *channelState) {
@@ -248,6 +287,7 @@ func (mc *MC) journalOpen(st *channelState) {
 	}
 	mc.journal.Append(Record{
 		Kind:      RecOpen,
+		Shard:     mc.shardID,
 		Channel:   st.id,
 		Initiator: st.initiator,
 		Responder: st.responder,
@@ -271,6 +311,7 @@ func (mc *MC) journalUpdate(st *channelState) {
 	}
 	mc.journal.Append(Record{
 		Kind:    RecUpdate,
+		Shard:   mc.shardID,
 		Channel: st.id,
 		Epoch:   st.epoch,
 		Gen:     st.gen,
@@ -293,7 +334,7 @@ func (mc *MC) journalClose(id uint64) {
 	if mc.journal == nil {
 		return
 	}
-	mc.journal.Append(Record{Kind: RecClose, Channel: id})
+	mc.journal.Append(Record{Kind: RecClose, Shard: mc.shardID, Channel: id})
 }
 
 // applyRecord folds one journal record into the MC's state: the replay half
@@ -413,14 +454,17 @@ func (mc *MC) finishRestore(j *Journal) {
 			held[fid] = true
 		}
 	}
-	mc.flowIDs.restore(j.AllocHigh(), held)
-	if j.ChanHigh() > mc.nextChan {
-		mc.nextChan = j.ChanHigh()
+	// Counters come from this shard's records only (shard 0 ≡ the scalar
+	// high-waters for a standalone MC): clamping one shard's allocator to
+	// another shard's high-water would hand out IDs it does not own.
+	mc.flowIDs.restore(j.AllocHighShard(mc.shardID), held)
+	if high := j.ChanHighShard(mc.shardID); high > mc.nextChan {
+		mc.nextChan = high
 	}
 	if base := uint64(mc.Cfg.InstanceID) << 32; mc.nextChan < base {
 		mc.nextChan = base
 	}
-	if j.GroupHigh() > mc.nextGroup {
-		mc.nextGroup = j.GroupHigh()
+	if high := j.GroupHighShard(mc.shardID); high > mc.nextGroup {
+		mc.nextGroup = high
 	}
 }

@@ -144,7 +144,7 @@ func TestReplayedAllocatorAvoidsCollisions(t *testing.T) {
 			}
 		})
 	}
-	f.eng.RunFor(5 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 
 	// Close the middle channel so its IDs land on the primary's free list —
 	// state the journal records only as a close, never as a free-list order.

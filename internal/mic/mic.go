@@ -60,6 +60,16 @@ type Config struct {
 	// MaxEqualCostPaths caps shortest-path enumeration.
 	MaxEqualCostPaths int
 
+	// DisablePathCache turns off the path-plan cache (plancache.go), forcing
+	// a full equal-cost graph search on every m-flow planning step — the
+	// ablation knob for the s10 setup-throughput experiment.
+	DisablePathCache bool
+
+	// PlanCacheHitCost is the planning CPU charged per path lookup served
+	// from the plan cache, replacing the full ComputeCost of a graph search.
+	// Zero means ComputeCost/10; negative means free.
+	PlanCacheHitCost time.Duration
+
 	// StrictMNs makes channel establishment fail when no path offers the
 	// requested number of Mimic Nodes. By default the MC degrades
 	// gracefully and uses as many MNs as the best path allows (same-ToR
@@ -173,6 +183,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxEqualCostPaths == 0 {
 		c.MaxEqualCostPaths = d.MaxEqualCostPaths
 	}
+	if c.PlanCacheHitCost == 0 {
+		c.PlanCacheHitCost = c.ComputeCost / 10
+	}
+	if c.PlanCacheHitCost < 0 {
+		c.PlanCacheHitCost = 0
+	}
 	if c.Seed == 0 {
 		c.Seed = d.Seed
 	}
@@ -282,6 +298,32 @@ type MC struct {
 	// standby controller can rebuild this MC's state by replay (failover.go).
 	// A standalone MC runs with no journal and pays nothing.
 	journal *Journal
+
+	// shardID labels this controller's journal records when it runs as one
+	// shard of a ShardedMC (shard.go); 0 for a standalone controller. A
+	// sharded standby routes records back to the matching shard by this ID,
+	// and finishRestore reads per-shard counter high-waters keyed on it.
+	shardID uint32
+
+	// planCache memoizes equal-cost path enumeration per access-switch pair
+	// (plancache.go); topoGen invalidates every cached plan the instant any
+	// fabric liveness event fires.
+	planCache *planCache
+	topoGen   uint64
+
+	// cpuFree is the virtual time at which this controller's planning CPU is
+	// next idle. Channel planning is serialized per controller process —
+	// exactly the per-MC bottleneck that sharding splits — while the install
+	// round trips of one request overlap the planning of the next.
+	cpuFree sim.Time
+	// planCost accumulates the planning CPU of the request being computed:
+	// ComputeCost per graph search, PlanCacheHitCost per cache hit.
+	planCost time.Duration
+
+	// PathCacheHits and PathCacheMisses count plan-cache outcomes; with the
+	// cache disabled every lookup counts as a miss.
+	PathCacheHits   uint64
+	PathCacheMisses uint64
 
 	// down marks a crashed controller process: request handling, packet-ins
 	// and failure reactions all stop. incarnation bumps on every crash and
@@ -396,14 +438,29 @@ type MC struct {
 // every switch, picks the common-flow class and label, installs proactive
 // common routing, and attaches itself as the fabric's packet-in handler.
 func NewMC(net *netsim.Network, cfg Config) (*MC, error) {
-	return newMC(net, cfg, false)
+	return newMC(net, cfg, mcActive)
 }
 
-// newMC is NewMC with a passive mode: a passive (standby) controller derives
-// the full MAGA keying — Config.Seed guarantees it matches the active's —
-// but does not install routing, attach as packet-in handler, or self-heal.
-// It stays inert until a takeover activates it.
-func newMC(net *netsim.Network, cfg Config, passive bool) (*MC, error) {
+// mcMode selects how much of the fabric a new controller takes ownership of.
+type mcMode int
+
+const (
+	// mcActive is a standalone active controller: it installs common
+	// routing, attaches as the fabric's packet-in handler and self-heals.
+	mcActive mcMode = iota
+	// mcPassive is a warm standby: it derives the full MAGA keying —
+	// Config.Seed guarantees it matches the active's — but stays inert
+	// until a takeover activates it.
+	mcPassive
+	// mcShard is an active controller running as one shard behind a
+	// ShardedMC router (shard.go): it plans, admits and self-heals its own
+	// channels, but the router owns the shared fabric attachments (common
+	// routing, packet-in demux, eviction hooks), installed exactly once.
+	mcShard
+)
+
+// newMC is NewMC parameterized by ownership mode.
+func newMC(net *netsim.Network, cfg Config, mode mcMode) (*MC, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Widths.Validate(); err != nil {
 		return nil, err
@@ -462,16 +519,30 @@ func newMC(net *netsim.Network, cfg Config, passive bool) (*MC, error) {
 	mc.CFLabel = cfGen.Label(0, 0, 0)
 
 	mc.reach = computeReachability(net.Graph)
-	mc.activeCtrl = !passive
-	if passive {
+	mc.planCache = newPlanCache()
+	// Any liveness change anywhere in the fabric invalidates every cached
+	// path plan (generation bump, O(1)). The listener is unconditional and
+	// ungated: cached plans are pure topology artifacts, valid to maintain
+	// across crashes and while passive, and a stale plan on a promoted
+	// standby would route through a dead link.
+	net.Notify(func(ev netsim.Event) {
+		switch ev.Kind {
+		case netsim.PortDown, netsim.PortUp, netsim.SwitchDown, netsim.SwitchUp:
+			mc.topoGen++
+		}
+	})
+	mc.activeCtrl = mode != mcPassive
+	if mode == mcPassive {
 		return mc, nil
 	}
-	router := &ctrlplane.ProactiveRouter{CFLabel: mc.CFLabel}
-	if _, err := router.Install(net); err != nil {
-		return nil, err
+	if mode == mcActive {
+		router := &ctrlplane.ProactiveRouter{CFLabel: mc.CFLabel}
+		if _, err := router.Install(net); err != nil {
+			return nil, err
+		}
+		net.SetController(mc)
+		mc.armEviction()
 	}
-	net.SetController(mc)
-	mc.armEviction()
 	if cfg.AutoRepair {
 		mc.enableAutoRepair()
 	}
@@ -668,14 +739,22 @@ type idAllocator struct {
 	lo   uint32
 	hi   uint32
 	free []uint32
+	// held tracks the IDs currently allocated. It guards release against
+	// double-free: an unconditional free-list append would hand the same
+	// flow ID to two live channels on the next two allocs, silently
+	// cross-wiring their MAGA address chains.
+	held map[uint32]bool
 }
 
-func newIDAllocator(lo, hi uint32) *idAllocator { return &idAllocator{next: lo, lo: lo, hi: hi} }
+func newIDAllocator(lo, hi uint32) *idAllocator {
+	return &idAllocator{next: lo, lo: lo, hi: hi, held: make(map[uint32]bool)}
+}
 
 func (a *idAllocator) alloc() (uint32, error) {
 	if n := len(a.free); n > 0 {
 		id := a.free[n-1]
 		a.free = a.free[:n-1]
+		a.held[id] = true
 		return id, nil
 	}
 	if a.next >= a.hi {
@@ -683,12 +762,22 @@ func (a *idAllocator) alloc() (uint32, error) {
 	}
 	id := a.next
 	a.next++
+	a.held[id] = true
 	return id, nil
 }
 
-func (a *idAllocator) release(id uint32) { a.free = append(a.free, id) }
+// release returns an ID to the free list. Releasing an ID that is not
+// currently held — double release, out of range, never allocated — is a
+// no-op rather than a corruption.
+func (a *idAllocator) release(id uint32) {
+	if !a.held[id] {
+		return
+	}
+	delete(a.held, id)
+	a.free = append(a.free, id)
+}
 
-func (a *idAllocator) inUse() int { return int(a.next-a.lo) - len(a.free) }
+func (a *idAllocator) inUse() int { return len(a.held) }
 
 // restore rebuilds allocator state after journal replay: next becomes the
 // journaled high-water mark and the free list every ID below it not held by
@@ -706,8 +795,11 @@ func (a *idAllocator) restore(next uint32, inUse map[uint32]bool) {
 	}
 	a.next = next
 	a.free = a.free[:0]
+	a.held = make(map[uint32]bool)
 	for id := a.lo; id < next; id++ {
-		if !inUse[id] {
+		if inUse[id] {
+			a.held[id] = true
+		} else {
 			a.free = append(a.free, id)
 		}
 	}

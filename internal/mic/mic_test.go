@@ -834,7 +834,7 @@ func TestRepairSurvivesLinkFailure(t *testing.T) {
 	})
 	// Let some data flow, then cut a link on the m-flow's path (between
 	// the first two path switches) and repair.
-	f.eng.RunFor(3 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 	info, _ := client.Channel(target)
 	oldPath := info.Flows[0].Path
 	var cutNode topo.NodeID
@@ -897,7 +897,7 @@ func TestRepairSurvivesSwitchFailure(t *testing.T) {
 		}
 		s.Send(data)
 	})
-	f.eng.RunFor(2 * time.Millisecond)
+	f.eng.RunFor(6 * time.Millisecond)
 	info, _ := client.Channel(target)
 	// Fail a core/agg switch in the middle of the path (never the edges,
 	// which are the hosts' only uplinks).

@@ -1,0 +1,261 @@
+package mic
+
+import (
+	"fmt"
+
+	"mic/internal/addr"
+	"mic/internal/ctrlplane"
+	"mic/internal/flowtable"
+	"mic/internal/topo"
+)
+
+// This file splits channel setup into explicit pipeline stages, replacing
+// the computeFlow monolith:
+//
+//	planFlow      — planner: path selection (through the plan cache) and MN
+//	                placement. Touches no channel bookkeeping; its only side
+//	                effects are RNG stream advances and plan-cost accounting.
+//	allocFlowRes  — allocator: flow IDs, entry/final address reservations.
+//	                The first stage that takes resources a failure must
+//	                return (snapFlow/unwindFlow still cover it exactly).
+//	templateFlow  — templater: MAGA tuple chains and the rewrite/forward
+//	                rule set, built as free-standing ruleRecs with no writes
+//	                to MC or channel state.
+//	adoptFlow     — installer prep: the templated rules become channel
+//	                intent (st.rules, switch/group indexes) and southbound
+//	                Mods, in one deterministic order.
+//
+// computeFlow composes the stages, so the repair and upgrade paths behave
+// exactly as before; serveChannel uses the stage costs to pipeline many
+// requests through one controller's serialized planning CPU (mic.cpuFree).
+
+// flowPlan is the planner's output for one m-flow: the chosen path and the
+// Mimic Node placement on it. It references no allocated resources, so a
+// plan can be dropped at zero cost.
+type flowPlan struct {
+	path  topo.Path
+	swPos []int         // switch positions within path
+	mnPos []int         // MN positions within path, ascending
+	mnIDs []topo.NodeID // the MN switches, in path order
+	n     int           // effective MN count after degrade clamping
+}
+
+// planFlow selects a path and places opts.MNs Mimic Nodes on it (clamped to
+// the path's switch count unless StrictMNs). It mutates no MC bookkeeping —
+// path-load charging and resource allocation are later stages.
+func (mc *MC) planFlow(initNode, respNode topo.NodeID, opts ChannelOptions) (flowPlan, error) {
+	g := mc.Net.Graph
+	path, err := mc.selectPath(initNode, respNode, opts.MNs)
+	if err != nil {
+		return flowPlan{}, err
+	}
+	// Switch positions within the path (hosts occupy the two ends; BCube
+	// paths may also transit hosts, which cannot rewrite).
+	var swPos []int
+	for i, n := range path {
+		if g.Node(n).Kind == topo.KindSwitch {
+			swPos = append(swPos, i)
+		}
+	}
+	k := len(swPos)
+	n := opts.MNs
+	if k < n {
+		if mc.Cfg.StrictMNs {
+			return flowPlan{}, fmt.Errorf("mic: selected path has %d switches, need %d MNs", k, n)
+		}
+		n = k
+	}
+	// Choose which switches act as MNs: a random subset, kept in path order.
+	mnSel := mc.pathRng.Perm(k)[:n]
+	sortInts(mnSel)
+	plan := flowPlan{path: path, swPos: swPos, n: n, mnPos: make([]int, n)}
+	for i, s := range mnSel {
+		plan.mnPos[i] = swPos[s]
+		plan.mnIDs = append(plan.mnIDs, path[swPos[s]])
+	}
+	return plan, nil
+}
+
+// allocFlowRes is the allocator stage: fresh flow IDs and endpoint-visible
+// fake addresses for one planned m-flow, recorded in st so the surrounding
+// snapshot/unwind machinery can return them on a later-stage failure.
+func (mc *MC) allocFlowRes(st *channelState, plan flowPlan, respIP addr.IP) (flowRes, error) {
+	initIP := st.initiator
+	fwdID, err := mc.flowIDs.alloc()
+	if err != nil {
+		return flowRes{}, err
+	}
+	st.flowIDs = append(st.flowIDs, fwdID)
+	revID, err := mc.flowIDs.alloc()
+	if err != nil {
+		return flowRes{}, err
+	}
+	st.flowIDs = append(st.flowIDs, revID)
+
+	// Entry address: a real host, plausible beyond the initiator's first
+	// switch, unique among the initiator's live channels.
+	entry, err := mc.reserveFake(initIP, mc.poolAhead(plan.path, plan.swPos[0], initIP, respIP))
+	if err != nil {
+		return flowRes{}, err
+	}
+	st.entries = append(st.entries, entry)
+	// Final source: the fake peer the responder sees; also serves as the
+	// reply's entry address, so it gets the same uniqueness reservation.
+	finalSrc, err := mc.reserveFake(respIP, mc.poolBehind(plan.path, plan.swPos[len(plan.swPos)-1], initIP, respIP))
+	if err != nil {
+		return flowRes{}, err
+	}
+	st.finals = append(st.finals, finalSrc)
+	res := flowRes{entry: entry, finalSrc: finalSrc, fwdID: fwdID, revID: revID}
+	st.res = append(st.res, res)
+	return res, nil
+}
+
+// templateFlow is the templater stage: the MAGA tuple chains in both
+// directions and the complete rewrite/forward/multicast rule set for one
+// planned m-flow, emitted as self-contained ruleRecs. It writes nothing
+// into MC or channel state — groups are numbered from groupBase, and the
+// caller advances mc.nextGroup by the returned groupsUsed when it adopts
+// the rules (or drops the plan and the numbering with it).
+func (mc *MC) templateFlow(plan flowPlan, res flowRes, initIP, respIP addr.IP, opts ChannelOptions, cookie uint64, groupBase uint32) (recs []ruleRec, fi FlowInfo, groupsUsed uint32) {
+	g := mc.Net.Graph
+	path, mnPos, n := plan.path, plan.mnPos, plan.n
+	initNode := path[0]
+	respNode := path[len(path)-1]
+	initMAC := g.Node(initNode).MAC
+	respMAC := g.Node(respNode).MAC
+	entry, finalSrc := res.entry, res.finalSrc
+	fwdID, revID := res.fwdID, res.revID
+
+	// Forward tuple chain T[0..n].
+	T := make([]tuple, n+1)
+	T[0] = tuple{src: initIP, dst: entry}
+	for j := 1; j < n; j++ {
+		mn := path[mnPos[j-1]]
+		gen := mc.gens[mn]
+		srcPool := mc.reach.via(g, mn, g.PortTo(mn, path[mnPos[j-1]-1]), initIP, respIP)
+		dstPool := mc.reach.via(g, mn, g.PortTo(mn, path[mnPos[j-1]+1]), initIP, respIP)
+		s, d, l := gen.MAddr(fwdID, srcPool, dstPool)
+		T[j] = tuple{src: s, dst: d, label: l, tagged: true}
+	}
+	T[n] = tuple{src: finalSrc, dst: respIP}
+
+	// Reverse tuple chain U[0..n]: U[n] leaves the responder, U[0] reaches
+	// the initiator. U[j] (1 <= j <= n-1) is minted by MN_{j+1}, the node
+	// that rewrites onto that segment in the reverse direction.
+	U := make([]tuple, n+1)
+	U[n] = tuple{src: respIP, dst: finalSrc}
+	for j := n - 1; j >= 1; j-- {
+		mn := path[mnPos[j]] // MN_{j+1} in 1-based terms
+		gen := mc.gens[mn]
+		srcPool := mc.reach.via(g, mn, g.PortTo(mn, path[mnPos[j]+1]), initIP, respIP)
+		dstPool := mc.reach.via(g, mn, g.PortTo(mn, path[mnPos[j]-1]), initIP, respIP)
+		s, d, l := gen.MAddr(revID, srcPool, dstPool)
+		U[j] = tuple{src: s, dst: d, label: l, tagged: true}
+	}
+	U[0] = tuple{src: entry, dst: initIP}
+
+	add := func(node topo.NodeID, e *flowtable.Entry, grp *flowtable.Group) {
+		if e != nil {
+			e.Priority = ctrlplane.PriorityMFlow
+			e.Cookie = cookie
+			// Under EvictIdle, m-flow rules may be displaced at capacity;
+			// the MC's intent survives and reinstalls on miss.
+			e.Evictable = mc.Cfg.Admission.EvictIdle
+		}
+		recs = append(recs, ruleRec{node: node, entry: e, group: grp})
+	}
+	nextGroupID := func() flowtable.GroupID {
+		groupsUsed++
+		return flowtable.GroupID(groupBase + groupsUsed)
+	}
+
+	// Forward rules.
+	cur := 0 // index into T: tuple currently on the wire
+	for pi := 1; pi < len(path)-1; pi++ {
+		node := path[pi]
+		if g.Node(node).Kind != topo.KindSwitch {
+			continue // BCube relay hosts forward in their stack; out of scope here
+		}
+		out := g.PortTo(node, path[pi+1])
+		j := mnIndexAt(mnPos, pi)
+		if j < 0 {
+			if cur == n {
+				continue // past the last MN: common routing delivers T[n]
+			}
+			add(node, &flowtable.Entry{Match: T[cur].match(), Actions: []flowtable.Action{flowtable.Output(out)}}, nil)
+			continue
+		}
+		// This switch is MN_{j+1} (j is 0-based here).
+		jj := j + 1
+		actions := mc.rewriteActions(T[cur], T[jj], jj, n)
+		if path[pi+1] == respNode {
+			// lint:declassify addrleak last-segment L2 delivery: the responder's own MAC on its access link is the paper-sanctioned exposure
+			actions = append(actions, flowtable.SetEthDst(respMAC))
+		}
+		actions = append(actions, flowtable.Output(out))
+		if (jj == 1 || jj == n) && opts.MulticastFanout > 1 {
+			grp, decoys := mc.buildMulticast(node, path[pi-1], path[pi+1], actions, T[cur], fwdID, opts.MulticastFanout, nextGroupID())
+			add(node, &flowtable.Entry{Match: T[cur].match(), Actions: []flowtable.Action{flowtable.OutputGroup(grp.ID)}}, grp)
+			for _, d := range decoys {
+				add(d.node, &flowtable.Entry{Match: d.t.match(), Actions: nil}, nil) // drop at next hop
+			}
+		} else {
+			add(node, &flowtable.Entry{Match: T[cur].match(), Actions: actions}, nil)
+		}
+		cur = jj
+	}
+
+	// Reverse rules.
+	cur = n
+	for pi := len(path) - 2; pi >= 1; pi-- {
+		node := path[pi]
+		if g.Node(node).Kind != topo.KindSwitch {
+			continue
+		}
+		out := g.PortTo(node, path[pi-1])
+		j := mnIndexAt(mnPos, pi)
+		if j < 0 {
+			if cur == 0 {
+				continue // past MN_1 on the reply path: common routing delivers U[0]
+			}
+			add(node, &flowtable.Entry{Match: U[cur].match(), Actions: []flowtable.Action{flowtable.Output(out)}}, nil)
+			continue
+		}
+		jj := j + 1 // this is MN_jj; it rewrites U[jj] -> U[jj-1]
+		actions := mc.rewriteActions(U[cur], U[jj-1], n-jj+1, n)
+		if path[pi-1] == initNode {
+			// lint:declassify addrleak first-segment L2 delivery on the reply path: the initiator's own MAC on its access link
+			actions = append(actions, flowtable.SetEthDst(initMAC))
+		}
+		actions = append(actions, flowtable.Output(out))
+		if (jj == n || jj == 1) && opts.MulticastFanout > 1 {
+			grp, decoys := mc.buildMulticast(node, path[pi+1], path[pi-1], actions, U[cur], revID, opts.MulticastFanout, nextGroupID())
+			add(node, &flowtable.Entry{Match: U[cur].match(), Actions: []flowtable.Action{flowtable.OutputGroup(grp.ID)}}, grp)
+			for _, d := range decoys {
+				add(d.node, &flowtable.Entry{Match: d.t.match(), Actions: nil}, nil)
+			}
+		} else {
+			add(node, &flowtable.Entry{Match: U[cur].match(), Actions: actions}, nil)
+		}
+		cur = jj - 1
+	}
+
+	return recs, FlowInfo{Entry: entry, Path: path, MNs: plan.mnIDs}, groupsUsed
+}
+
+// adoptFlow is the installer-prep stage: templated rules become the
+// channel's intent — per-switch index, group references, st.rules — and the
+// southbound modifications, in the templater's emission order.
+func (mc *MC) adoptFlow(st *channelState, recs []ruleRec) []ctrlplane.Mod {
+	mods := make([]ctrlplane.Mod, 0, len(recs))
+	for _, rr := range recs {
+		st.switches[rr.node] = true
+		if rr.group != nil {
+			st.groups = append(st.groups, groupRef{node: rr.node, id: rr.group.ID})
+		}
+		st.rules = append(st.rules, rr)
+		mods = append(mods, ctrlplane.Mod{Switch: mc.Net.Switch(rr.node), Entry: rr.entry, Group: rr.group})
+	}
+	return mods
+}

@@ -1,0 +1,120 @@
+package mic
+
+import (
+	"mic/internal/topo"
+)
+
+// This file is the MC's path-plan cache: equal-cost path enumeration is by
+// far the most expensive step of channel planning (a BFS plus a bounded DFS
+// over the fabric per dial), yet its result depends only on the endpoints'
+// access switches — every host pair behind the same (src-edge, dst-edge)
+// pair sees structurally identical candidate paths, differing only in the
+// two host endpoints. The cache therefore stores switch-only path segments
+// keyed by access-switch pair and reattaches the concrete hosts per lookup,
+// so steady-state setup is O(F) rule instantiation instead of a graph
+// search. Liveness is NOT cached: candidates are stored pre-filter and
+// alivePaths runs per lookup, while any fabric liveness event invalidates
+// the whole cache via a generation bump (mic.topoGen), covering the paths a
+// failure removed from the graph-search result itself.
+
+// planKey identifies one cached candidate set: the endpoints' access
+// switches plus the minimum-switch requirement (minSw < 0 keys the plain
+// equal-cost enumeration, which ignores it).
+type planKey struct {
+	a, b  topo.NodeID
+	minSw int
+}
+
+// planVal is one cached candidate set: switch-only segments (host endpoints
+// stripped) and the topology generation they were computed under.
+type planVal struct {
+	gen  uint64
+	segs [][]topo.NodeID
+}
+
+// planCache memoizes path enumeration per access-switch pair. Entries are
+// invalidated lazily: a lookup whose generation mismatches recomputes and
+// overwrites in place, so no event-time sweep is needed and the map's size
+// is bounded by the number of distinct edge pairs dialed.
+type planCache struct {
+	m map[planKey]planVal
+}
+
+func newPlanCache() *planCache { return &planCache{m: make(map[planKey]planVal)} }
+
+// accessSwitch returns the unique switch a single-homed host hangs off, or
+// -1 when the host is multi-homed (BCube) — which the cache does not model.
+func accessSwitch(g *topo.Graph, host topo.NodeID) topo.NodeID {
+	n := g.Node(host)
+	if n.Kind != topo.KindHost || len(n.Ports) != 1 {
+		return -1
+	}
+	peer := n.Ports[0].Peer
+	if g.Node(peer).Kind != topo.KindSwitch {
+		return -1
+	}
+	return peer
+}
+
+// cacheUsable reports whether the plan cache can serve (src, dst): both
+// endpoints must be single-homed hosts and the graph must not route through
+// hosts (host-transit paths depend on the concrete endpoints, not just
+// their edges).
+func (mc *MC) cacheUsable(src, dst topo.NodeID) bool {
+	if mc.Cfg.DisablePathCache || mc.Net.Graph.AllowHostTransit {
+		return false
+	}
+	return accessSwitch(mc.Net.Graph, src) >= 0 && accessSwitch(mc.Net.Graph, dst) >= 0
+}
+
+// stripHosts copies paths into switch-only segments (first and last element
+// — the hosts — dropped). Segments are deep-copied so later destructive
+// filtering of the enumeration result cannot alias into the cache.
+func stripHosts(paths []topo.Path) [][]topo.NodeID {
+	segs := make([][]topo.NodeID, 0, len(paths))
+	for _, p := range paths {
+		seg := make([]topo.NodeID, len(p)-2)
+		copy(seg, p[1:len(p)-1])
+		segs = append(segs, seg)
+	}
+	return segs
+}
+
+// attachHosts rebuilds concrete host-to-host candidate paths from cached
+// segments. Every returned slice is fresh: callers filter and retain these
+// paths, and the cache must stay immutable underneath them.
+func attachHosts(segs [][]topo.NodeID, src, dst topo.NodeID) []topo.Path {
+	out := make([]topo.Path, 0, len(segs))
+	for _, seg := range segs {
+		p := make(topo.Path, 0, len(seg)+2)
+		p = append(p, src)
+		p = append(p, seg...)
+		p = append(p, dst)
+		out = append(out, p)
+	}
+	return out
+}
+
+// lookupPaths serves one path enumeration through the cache: a hit costs
+// PlanCacheHitCost of planning CPU, a miss (or a bypass) runs compute and
+// costs the full ComputeCost. Hit and miss return identically shaped
+// candidates — both are rebuilt from stripped segments — so the downstream
+// RNG draw sequence is independent of cache state.
+func (mc *MC) lookupPaths(src, dst topo.NodeID, minSw int, compute func() []topo.Path) []topo.Path {
+	if !mc.cacheUsable(src, dst) {
+		mc.PathCacheMisses++
+		mc.planCost += mc.Cfg.ComputeCost
+		return compute()
+	}
+	key := planKey{a: accessSwitch(mc.Net.Graph, src), b: accessSwitch(mc.Net.Graph, dst), minSw: minSw}
+	if v, ok := mc.planCache.m[key]; ok && v.gen == mc.topoGen {
+		mc.PathCacheHits++
+		mc.planCost += mc.Cfg.PlanCacheHitCost
+		return attachHosts(v.segs, src, dst)
+	}
+	mc.PathCacheMisses++
+	mc.planCost += mc.Cfg.ComputeCost
+	segs := stripHosts(compute())
+	mc.planCache.m[key] = planVal{gen: mc.topoGen, segs: segs}
+	return attachHosts(segs, src, dst)
+}

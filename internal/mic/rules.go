@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"time"
 
 	"mic/internal/addr"
 	"mic/internal/ctrlplane"
@@ -82,18 +81,40 @@ func (mc *MC) EstablishChannel(initiator addr.IP, target string, opts ChannelOpt
 	}))
 }
 
-// serveChannel is the admitted half of EstablishChannel: routing
-// calculation, rule installation, acknowledgement.
+// serveChannel is the admitted half of EstablishChannel: planning, rule
+// installation, acknowledgement. Planning itself runs synchronously (the
+// plan must exist before anything can be installed), but its CPU cost is
+// modeled by serializing requests through the controller's single planning
+// core (mc.cpuFree): each admitted dial's installation is deferred until
+// the planner would actually have finished it, so a storm of dials queues
+// behind the controller's plan throughput exactly as on real hardware —
+// and sharded controllers (shard.go) each bring their own core.
 func (mc *MC) serveChannel(initiator addr.IP, target string, opts ChannelOptions, cb func(*ChannelInfo, error)) {
+	mc.planCost = 0
 	info, mods, err := mc.computeChannel(initiator, target, opts)
+	cost := mc.planCost
+	mc.planCost = 0
+	mc.Net.CPU.Charge("mc", cost)
 	if err != nil {
 		mc.Net.Eng.After(mc.Cfg.RequestLatency, func() { cb(nil, err) })
 		return
 	}
+	now := mc.Net.Eng.Now()
+	start := mc.cpuFree
+	if start < now {
+		start = now
+	}
+	mc.cpuFree = start.Add(cost)
+	delay := mc.cpuFree.Sub(now)
 	// Acknowledgement: sealed by the MC, opened by the client.
 	mc.Net.CPU.Charge("crypto", 2*mc.Cfg.RequestCryptoCost)
-	mc.Ch.InstallAll(mods, mc.gate(func() {
+	acked := mc.gate(func() {
 		mc.Net.Eng.After(mc.Cfg.RequestLatency, func() { cb(info, nil) })
+	})
+	mc.Net.Eng.After(delay, mc.gate(func() {
+		// One coalesced southbound message per switch, closed by a single
+		// barrier — the installer stage of the pipeline.
+		mc.Ch.InstallBatched(mods, func(int) { acked() })
 	}))
 }
 
@@ -116,7 +137,6 @@ func (mc *MC) computeChannel(initiator addr.IP, target string, opts ChannelOptio
 	if opts.MNs < 1 {
 		return nil, nil, fmt.Errorf("mic: need at least one Mimic Node, got %d", opts.MNs)
 	}
-	mc.Net.CPU.Charge("mc", time.Duration(opts.MFlows)*mc.Cfg.ComputeCost)
 
 	id := mc.nextChan
 	mc.nextChan++
@@ -188,204 +208,32 @@ func (mc *MC) computeChannel(initiator addr.IP, target string, opts ChannelOptio
 	return info, mods, nil
 }
 
-// computeFlow builds one m-flow: path, MN selection, m-address chains in
-// both directions, and the rewrite/forward rules for every switch touched.
-// With fixed == nil it allocates fresh endpoint resources (entry address,
-// final source, flow IDs) and records them in st; a non-nil fixed reuses
+// computeFlow builds one m-flow by composing the pipeline stages (plan.go):
+// planner (path + MN placement), allocator (flow IDs, entry/final
+// reservations), templater (tuple chains + rules), installer prep (channel
+// intent + southbound mods). With fixed == nil the allocator takes fresh
+// endpoint resources and records them in st; a non-nil fixed reuses
 // existing resources — the repair path, which must not change what the
 // endpoints see.
 func (mc *MC) computeFlow(st *channelState, info *ChannelInfo, initNode topo.NodeID, respIP addr.IP, opts ChannelOptions, fixed *flowRes) ([]ctrlplane.Mod, FlowInfo, error) {
-	g := mc.Net.Graph
-	respNode := g.HostByIP(respIP).ID
-	initIP := st.initiator
-	initMAC := g.Node(initNode).MAC
-	respMAC := g.Node(respNode).MAC
-
-	path, err := mc.selectPath(initNode, respNode, opts.MNs)
+	respNode := mc.Net.Graph.HostByIP(respIP).ID
+	plan, err := mc.planFlow(initNode, respNode, opts)
 	if err != nil {
 		return nil, FlowInfo{}, err
 	}
-	mc.chargePathLoad(st, path)
-	// Switch positions within the path (hosts occupy the two ends; BCube
-	// paths may also transit hosts, which cannot rewrite).
-	var swPos []int
-	for i, n := range path {
-		if g.Node(n).Kind == topo.KindSwitch {
-			swPos = append(swPos, i)
-		}
-	}
-	k := len(swPos)
-	n := opts.MNs
-	if k < n {
-		if mc.Cfg.StrictMNs {
-			return nil, FlowInfo{}, fmt.Errorf("mic: selected path has %d switches, need %d MNs", k, n)
-		}
-		n = k
-	}
-	// Choose which switches act as MNs: a random subset, kept in path order.
-	mnSel := mc.pathRng.Perm(k)[:n]
-	sortInts(mnSel)
-	mnPos := make([]int, n) // positions within path
-	var mnIDs []topo.NodeID
-	for i, s := range mnSel {
-		mnPos[i] = swPos[s]
-		mnIDs = append(mnIDs, path[swPos[s]])
-	}
-
-	var entry, finalSrc addr.IP
-	var fwdID, revID uint32
+	mc.chargePathLoad(st, plan.path)
+	var res flowRes
 	if fixed != nil {
-		entry, finalSrc = fixed.entry, fixed.finalSrc
-		fwdID, revID = fixed.fwdID, fixed.revID
+		res = *fixed
 	} else {
-		var err error
-		fwdID, err = mc.flowIDs.alloc()
+		res, err = mc.allocFlowRes(st, plan, respIP)
 		if err != nil {
 			return nil, FlowInfo{}, err
 		}
-		st.flowIDs = append(st.flowIDs, fwdID)
-		revID, err = mc.flowIDs.alloc()
-		if err != nil {
-			return nil, FlowInfo{}, err
-		}
-		st.flowIDs = append(st.flowIDs, revID)
-
-		// Entry address: a real host, plausible beyond the initiator's first
-		// switch, unique among the initiator's live channels.
-		entry, err = mc.reserveFake(initIP, mc.poolAhead(path, swPos[0], initIP, respIP))
-		if err != nil {
-			return nil, FlowInfo{}, err
-		}
-		st.entries = append(st.entries, entry)
-		// Final source: the fake peer the responder sees; also serves as the
-		// reply's entry address, so it gets the same uniqueness reservation.
-		finalSrc, err = mc.reserveFake(respIP, mc.poolBehind(path, swPos[k-1], initIP, respIP))
-		if err != nil {
-			return nil, FlowInfo{}, err
-		}
-		st.finals = append(st.finals, finalSrc)
-		st.res = append(st.res, flowRes{entry: entry, finalSrc: finalSrc, fwdID: fwdID, revID: revID})
 	}
-
-	// Forward tuple chain T[0..n].
-	T := make([]tuple, n+1)
-	T[0] = tuple{src: initIP, dst: entry}
-	for j := 1; j < n; j++ {
-		mn := path[mnPos[j-1]]
-		gen := mc.gens[mn]
-		srcPool := mc.reach.via(g, mn, g.PortTo(mn, path[mnPos[j-1]-1]), initIP, respIP)
-		dstPool := mc.reach.via(g, mn, g.PortTo(mn, path[mnPos[j-1]+1]), initIP, respIP)
-		s, d, l := gen.MAddr(fwdID, srcPool, dstPool)
-		T[j] = tuple{src: s, dst: d, label: l, tagged: true}
-	}
-	T[n] = tuple{src: finalSrc, dst: respIP}
-
-	// Reverse tuple chain U[0..n]: U[n] leaves the responder, U[0] reaches
-	// the initiator. U[j] (1 <= j <= n-1) is minted by MN_{j+1}, the node
-	// that rewrites onto that segment in the reverse direction.
-	U := make([]tuple, n+1)
-	U[n] = tuple{src: respIP, dst: finalSrc}
-	for j := n - 1; j >= 1; j-- {
-		mn := path[mnPos[j]] // MN_{j+1} in 1-based terms
-		gen := mc.gens[mn]
-		srcPool := mc.reach.via(g, mn, g.PortTo(mn, path[mnPos[j]+1]), initIP, respIP)
-		dstPool := mc.reach.via(g, mn, g.PortTo(mn, path[mnPos[j]-1]), initIP, respIP)
-		s, d, l := gen.MAddr(revID, srcPool, dstPool)
-		U[j] = tuple{src: s, dst: d, label: l, tagged: true}
-	}
-	U[0] = tuple{src: entry, dst: initIP}
-
-	var mods []ctrlplane.Mod
-	add := func(node topo.NodeID, e *flowtable.Entry, grp *flowtable.Group) {
-		e2 := e
-		if e2 != nil {
-			e2.Priority = ctrlplane.PriorityMFlow
-			e2.Cookie = st.cookie(info.ID)
-			// Under EvictIdle, m-flow rules may be displaced at capacity;
-			// the MC's intent survives and reinstalls on miss.
-			e2.Evictable = mc.Cfg.Admission.EvictIdle
-			st.switches[node] = true
-		}
-		if grp != nil {
-			st.switches[node] = true
-			st.groups = append(st.groups, groupRef{node: node, id: grp.ID})
-		}
-		st.rules = append(st.rules, ruleRec{node: node, entry: e2, group: grp})
-		mods = append(mods, ctrlplane.Mod{Switch: mc.Net.Switch(node), Entry: e2, Group: grp})
-	}
-
-	// Forward rules.
-	cur := 0 // index into T: tuple currently on the wire
-	for pi := 1; pi < len(path)-1; pi++ {
-		node := path[pi]
-		if g.Node(node).Kind != topo.KindSwitch {
-			continue // BCube relay hosts forward in their stack; out of scope here
-		}
-		out := g.PortTo(node, path[pi+1])
-		j := mnIndexAt(mnPos, pi)
-		if j < 0 {
-			if cur == n {
-				continue // past the last MN: common routing delivers T[n]
-			}
-			add(node, &flowtable.Entry{Match: T[cur].match(), Actions: []flowtable.Action{flowtable.Output(out)}}, nil)
-			continue
-		}
-		// This switch is MN_{j+1} (j is 0-based here).
-		jj := j + 1
-		actions := mc.rewriteActions(T[cur], T[jj], jj, n)
-		if path[pi+1] == respNode {
-			// lint:declassify addrleak last-segment L2 delivery: the responder's own MAC on its access link is the paper-sanctioned exposure
-			actions = append(actions, flowtable.SetEthDst(respMAC))
-		}
-		actions = append(actions, flowtable.Output(out))
-		if (jj == 1 || jj == n) && opts.MulticastFanout > 1 {
-			grp, decoys := mc.buildMulticast(node, path[pi-1], path[pi+1], actions, T[cur], fwdID, opts.MulticastFanout)
-			add(node, &flowtable.Entry{Match: T[cur].match(), Actions: []flowtable.Action{flowtable.OutputGroup(grp.ID)}}, grp)
-			for _, d := range decoys {
-				add(d.node, &flowtable.Entry{Match: d.t.match(), Actions: nil}, nil) // drop at next hop
-			}
-		} else {
-			add(node, &flowtable.Entry{Match: T[cur].match(), Actions: actions}, nil)
-		}
-		cur = jj
-	}
-
-	// Reverse rules.
-	cur = n
-	for pi := len(path) - 2; pi >= 1; pi-- {
-		node := path[pi]
-		if g.Node(node).Kind != topo.KindSwitch {
-			continue
-		}
-		out := g.PortTo(node, path[pi-1])
-		j := mnIndexAt(mnPos, pi)
-		if j < 0 {
-			if cur == 0 {
-				continue // past MN_1 on the reply path: common routing delivers U[0]
-			}
-			add(node, &flowtable.Entry{Match: U[cur].match(), Actions: []flowtable.Action{flowtable.Output(out)}}, nil)
-			continue
-		}
-		jj := j + 1 // this is MN_jj; it rewrites U[jj] -> U[jj-1]
-		actions := mc.rewriteActions(U[cur], U[jj-1], n-jj+1, n)
-		if path[pi-1] == initNode {
-			// lint:declassify addrleak first-segment L2 delivery on the reply path: the initiator's own MAC on its access link
-			actions = append(actions, flowtable.SetEthDst(initMAC))
-		}
-		actions = append(actions, flowtable.Output(out))
-		if (jj == n || jj == 1) && opts.MulticastFanout > 1 {
-			grp, decoys := mc.buildMulticast(node, path[pi+1], path[pi-1], actions, U[cur], revID, opts.MulticastFanout)
-			add(node, &flowtable.Entry{Match: U[cur].match(), Actions: []flowtable.Action{flowtable.OutputGroup(grp.ID)}}, grp)
-			for _, d := range decoys {
-				add(d.node, &flowtable.Entry{Match: d.t.match(), Actions: nil}, nil)
-			}
-		} else {
-			add(node, &flowtable.Entry{Match: U[cur].match(), Actions: actions}, nil)
-		}
-		cur = jj - 1
-	}
-
-	return mods, FlowInfo{Entry: entry, Path: path, MNs: mnIDs}, nil
+	recs, fi, groupsUsed := mc.templateFlow(plan, res, st.initiator, respIP, opts, st.cookie(info.ID), mc.nextGroup)
+	mc.nextGroup += groupsUsed
+	return mc.adoptFlow(st, recs), fi, nil
 }
 
 // rewriteActions converts `from` into `to` at MN number j of n (1-based).
@@ -433,11 +281,12 @@ type decoyRule struct {
 // buildMulticast assembles the partial-multicast ALL group at an edge MN
 // (Sec IV-C, Fig 6): bucket 0 carries the real rewrite; each extra bucket
 // rewrites a clone to a decoy m-address and sends it out a different
-// switch-facing port, where a drop rule kills it one hop later.
-func (mc *MC) buildMulticast(node, prevNode, nextNode topo.NodeID, realActions []flowtable.Action, arriving tuple, flowID uint32, fanout int) (*flowtable.Group, []decoyRule) {
+// switch-facing port, where a drop rule kills it one hop later. The group
+// ID is supplied by the templater's local counter (mc.nextGroup advances
+// only when a templated flow is adopted).
+func (mc *MC) buildMulticast(node, prevNode, nextNode topo.NodeID, realActions []flowtable.Action, arriving tuple, flowID uint32, fanout int, gid flowtable.GroupID) (*flowtable.Group, []decoyRule) {
 	g := mc.Net.Graph
-	mc.nextGroup++
-	grp := &flowtable.Group{ID: flowtable.GroupID(mc.nextGroup)}
+	grp := &flowtable.Group{ID: gid}
 	grp.Buckets = append(grp.Buckets, flowtable.Bucket{Actions: realActions})
 	realOut := g.PortTo(node, nextNode)
 	inPort := g.PortTo(node, prevNode)
@@ -468,11 +317,15 @@ func (mc *MC) buildMulticast(node, prevNode, nextNode topo.NodeID, realActions [
 // never routed through.
 func (mc *MC) selectPath(src, dst topo.NodeID, minSwitches int) (topo.Path, error) {
 	g := mc.Net.Graph
-	cands := mc.alivePaths(g.EqualCostPaths(src, dst, mc.Cfg.MaxEqualCostPaths))
+	cands := mc.alivePaths(mc.lookupPaths(src, dst, -1, func() []topo.Path {
+		return g.EqualCostPaths(src, dst, mc.Cfg.MaxEqualCostPaths)
+	}))
 	if len(cands) > 0 && cands[0].SwitchCount(g) >= minSwitches {
 		return mc.pickPath(cands), nil
 	}
-	longer := mc.alivePaths(g.PathsWithMinSwitches(src, dst, minSwitches, minSwitches+6, 64))
+	longer := mc.alivePaths(mc.lookupPaths(src, dst, minSwitches, func() []topo.Path {
+		return g.PathsWithMinSwitches(src, dst, minSwitches, minSwitches+6, 64)
+	}))
 	if len(longer) > 0 {
 		return mc.pickPath(longer), nil
 	}

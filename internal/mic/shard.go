@@ -1,0 +1,483 @@
+package mic
+
+import (
+	"fmt"
+
+	"mic/internal/addr"
+	"mic/internal/ctrlplane"
+	"mic/internal/flowtable"
+	"mic/internal/metrics"
+	"mic/internal/netsim"
+	"mic/internal/packet"
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+// This file scales the Mimic Controller out: a ShardedMC runs N full MC
+// processes over one fabric, partitioned by the initiator's access (edge)
+// switch, behind a thin router that implements the same ControlPlane
+// interface a single MC does. Each shard owns a disjoint slice of the
+// flow-ID space, a distinct InstanceID (so channel IDs and group IDs are
+// collision-free by construction — the paper's Sec VI-C "assign a unique ID
+// space for each controller"), its own admission token bucket and its own
+// virtual planning CPU (mc.cpuFree) — the serialized-planning bottleneck
+// that sharding exists to split. Fabric-wide attachments that must exist
+// exactly once — proactive common routing, the packet-in handler, the
+// eviction hooks — belong to the router, not the shards.
+//
+// Every shard derives identical MAGA keying: keying streams hang off
+// Config.Seed only, never InstanceID, so a rule computed by any shard is
+// meaningful to every other controller on the fabric (and to a standby).
+//
+// For failover, each shard stamps its journal records with its shard index;
+// a sharded standby routes replayed records back to the matching shard and
+// restores each shard's allocator and ID high-waters from the per-shard
+// journal accounting (journal.go), so a takeover rebuilds N disjoint
+// controllers rather than one merged one.
+
+// ShardedMC is a sharded Mimic Controller control plane. It implements
+// ControlPlane (client-facing) and netsim.Controller (fabric-facing).
+type ShardedMC struct {
+	Net *netsim.Network
+	Cfg Config // base config with defaults applied (per-shard fields differ)
+
+	shards []*MC
+	// edgeShard maps an initiator's access switch to its owning shard, fixed
+	// at construction in graph enumeration order.
+	edgeShard map[topo.NodeID]int
+}
+
+// NewShardedMC builds n active controller shards over the fabric and
+// installs the shared attachments once. n == 1 degenerates to a standalone
+// MC behind the router, the baseline arm of the s10 scale-out experiment.
+func NewShardedMC(net *netsim.Network, cfg Config, n int) (*ShardedMC, error) {
+	return newShardedMC(net, cfg, n, mcShard)
+}
+
+// NewShardedStandby builds the passive twin of a ShardedMC: n shards with
+// identical keying, partitioning and ID spaces, inert until Promote. The
+// standby's shard count must equal the active's — journal records are
+// routed by shard index.
+func NewShardedStandby(net *netsim.Network, cfg Config, n int) (*ShardedMC, error) {
+	return newShardedMC(net, cfg, n, mcPassive)
+}
+
+func newShardedMC(net *netsim.Network, cfg Config, n int, mode mcMode) (*ShardedMC, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mic: shard count %d must be at least 1", n)
+	}
+	base := cfg.withDefaults()
+	if err := base.Widths.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := base.IDSpace.Lo, base.IDSpace.Hi
+	if lo == 0 && hi == 0 {
+		hi = base.Widths.MaxFlowIDs()
+	}
+	if lo >= hi || hi > base.Widths.MaxFlowIDs() {
+		return nil, fmt.Errorf("mic: ID space [%d, %d) invalid for %d-bit flow IDs", lo, hi, base.Widths.FPart)
+	}
+	if (hi-lo)/uint32(n) < 2 {
+		return nil, fmt.Errorf("mic: ID space [%d, %d) too small to split %d ways", lo, hi, n)
+	}
+	s := &ShardedMC{Net: net, Cfg: base, edgeShard: make(map[topo.NodeID]int)}
+	span := (hi - lo) / uint32(n)
+	for i := 0; i < n; i++ {
+		shardCfg := base
+		shardCfg.InstanceID = base.InstanceID + uint32(i)
+		shardCfg.IDSpace = IDRange{Lo: lo + uint32(i)*span, Hi: lo + uint32(i+1)*span}
+		if i == n-1 {
+			shardCfg.IDSpace.Hi = hi // the last shard absorbs the remainder
+		}
+		mc, err := newMC(net, shardCfg, mode)
+		if err != nil {
+			return nil, err
+		}
+		mc.shardID = uint32(i)
+		s.shards = append(s.shards, mc)
+	}
+	// Partition initiators by access switch: distinct edge switches in graph
+	// enumeration order, round-robin over the shards — deterministic, and
+	// hosts behind one edge always share a shard (plan-cache locality).
+	nextShard := 0
+	for _, hid := range net.Graph.Hosts() {
+		sw := accessSwitch(net.Graph, hid)
+		if sw < 0 {
+			continue // multi-homed hosts fall to shard 0 via shardOf
+		}
+		if _, seen := s.edgeShard[sw]; !seen {
+			s.edgeShard[sw] = nextShard
+			nextShard = (nextShard + 1) % n
+		}
+	}
+	if mode == mcShard {
+		router := &ctrlplane.ProactiveRouter{CFLabel: s.shards[0].CFLabel}
+		if _, err := router.Install(net); err != nil {
+			return nil, err
+		}
+		net.SetController(s)
+		s.armEviction()
+	}
+	return s, nil
+}
+
+// Shards reports the shard count.
+func (s *ShardedMC) Shards() int { return len(s.shards) }
+
+// Shard returns shard i's controller (tests and harnesses).
+func (s *ShardedMC) Shard(i int) *MC { return s.shards[i] }
+
+// shardOf maps an initiator to its owning shard: the shard of its access
+// switch, or shard 0 when the host is unknown or multi-homed (the shard's
+// own validation produces the proper refusal).
+func (s *ShardedMC) shardOf(initiator addr.IP) int {
+	h := s.Net.HostByIP(initiator)
+	if h == nil {
+		return 0
+	}
+	sw := accessSwitch(s.Net.Graph, h.ID)
+	if sw < 0 {
+		return 0
+	}
+	return s.edgeShard[sw]
+}
+
+// shardOfChannel recovers the owning shard from a channel ID: channel IDs
+// carry their minting controller's InstanceID in the high 32 bits, and the
+// shards' InstanceIDs are base..base+n-1 in shard order.
+func (s *ShardedMC) shardOfChannel(id uint64) (int, error) {
+	i := int(uint32(id>>32)) - int(s.Cfg.InstanceID)
+	if i < 0 || i >= len(s.shards) {
+		return 0, fmt.Errorf("mic: channel %d belongs to no shard of this controller", id)
+	}
+	return i, nil
+}
+
+// Engine implements ControlPlane.
+func (s *ShardedMC) Engine() *sim.Engine { return s.Net.Eng }
+
+// ClientSeed implements ControlPlane.
+func (s *ShardedMC) ClientSeed() uint64 { return s.Cfg.Seed }
+
+// EstablishChannel implements ControlPlane: the dial is served entirely by
+// the initiator's shard — its admission bucket, its planning CPU, its ID
+// ranges.
+func (s *ShardedMC) EstablishChannel(initiator addr.IP, target string, opts ChannelOptions, cb func(*ChannelInfo, error)) {
+	s.shards[s.shardOf(initiator)].EstablishChannel(initiator, target, opts, cb)
+}
+
+// CloseChannel implements ControlPlane, routing by the channel ID's
+// embedded InstanceID.
+func (s *ShardedMC) CloseChannel(id uint64, cb func()) error {
+	i, err := s.shardOfChannel(id)
+	if err != nil {
+		return err
+	}
+	return s.shards[i].CloseChannel(id, cb)
+}
+
+// SubscribeRepair implements ControlPlane: subscribers hear every shard.
+func (s *ShardedMC) SubscribeRepair(fn func(RepairEvent)) {
+	for _, mc := range s.shards {
+		mc.SubscribeRepair(fn)
+	}
+}
+
+// SubscribeChannelDown implements ControlPlane.
+func (s *ShardedMC) SubscribeChannelDown(fn func(id uint64, err error)) {
+	for _, mc := range s.shards {
+		mc.SubscribeChannelDown(fn)
+	}
+}
+
+// RegisterHiddenService registers the mapping on every shard: any shard may
+// serve a dial to the name. Each shard journals its own copy, so a sharded
+// standby's per-shard replay rebuilds every resolver.
+func (s *ShardedMC) RegisterHiddenService(name string, ip addr.IP) error {
+	for _, mc := range s.shards {
+		if err := mc.RegisterHiddenService(name, ip); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LiveChannels sums live channels across shards.
+func (s *ShardedMC) LiveChannels() int {
+	n := 0
+	for _, mc := range s.shards {
+		n += mc.LiveChannels()
+	}
+	return n
+}
+
+// PacketIn implements netsim.Controller: the router demuxes fabric misses.
+// An evicted-rule miss belongs to whichever shard holds the covering
+// channel; a miss no shard covers is a dying partial-multicast decoy (or a
+// stray), tallied on shard 0 so aggregate telemetry has one home for it.
+func (s *ShardedMC) PacketIn(sw *netsim.Switch, inPort int, p *packet.Packet) {
+	if l, ok := p.TopMPLS(); ok && l != s.shards[0].CFLabel {
+		if s.Cfg.Admission.EvictIdle {
+			for _, mc := range s.shards {
+				if !mc.down && mc.activeCtrl && mc.reinstallOnMiss(sw, inPort, p) {
+					return
+				}
+			}
+		}
+		s.shards[0].DecoysDropped++
+		return
+	}
+	s.shards[0].UnexpectedMisses++
+}
+
+// armEviction is the router-owned twin of MC.armEviction: the per-switch
+// OnEvict hook has a single owner, so the router installs it once and
+// attributes victims to shard 0's counter (the aggregate's home).
+func (s *ShardedMC) armEviction() {
+	if !s.Cfg.Admission.EvictIdle {
+		return
+	}
+	for _, sw := range s.Net.Switches() {
+		sw.Table.Policy = flowtable.EvictLRU
+		sw.Table.OnEvict = func(e *flowtable.Entry, reason flowtable.EvictReason) {
+			if reason == flowtable.EvictCapacity && mflowCookie(e.Cookie) {
+				s.shards[0].RulesEvicted++
+			}
+		}
+	}
+}
+
+// AttachJournal points every shard at one shared journal. Records are
+// stamped with their shard index on append, which is what makes the single
+// log replayable into N disjoint controllers.
+func (s *ShardedMC) AttachJournal(j *Journal) {
+	for _, mc := range s.shards {
+		mc.journal = j
+	}
+}
+
+// Crash kills every shard process — the whole controller host dies at once,
+// the failure model the sharded takeover test exercises.
+func (s *ShardedMC) Crash() {
+	for _, mc := range s.shards {
+		mc.crash()
+	}
+}
+
+// Replay routes journal records to their minting shard, rebuilding each
+// shard's channel bookkeeping in isolation. Records from an unknown shard
+// (a differently sharded active) are an error.
+func (s *ShardedMC) Replay(j *Journal) error {
+	for _, r := range j.Records() {
+		if int(r.Shard) >= len(s.shards) {
+			return fmt.Errorf("mic: journal record from shard %d, standby has %d shards", r.Shard, len(s.shards))
+		}
+		s.shards[r.Shard].applyRecord(r)
+	}
+	return nil
+}
+
+// Promote activates a replayed sharded standby: every shard finishes its
+// restore from the per-shard journal high-waters, bumps to the given
+// controller generation and re-arms self-healing; the router takes the
+// fabric attachments and reconciles every switch against the union of the
+// shards' intent. onDone (may be nil) receives the totals once every
+// switch's reconciliation resolves.
+func (s *ShardedMC) Promote(j *Journal, generation uint32, onDone func(reinstalled, stale int)) {
+	for _, mc := range s.shards {
+		mc.finishRestore(j)
+		mc.generation = generation
+		mc.journal = j
+		mc.activeCtrl = true
+		if mc.Cfg.AutoRepair {
+			mc.enableAutoRepair()
+		}
+	}
+	s.Net.SetController(s)
+	s.armEviction()
+	switches := s.Net.Switches()
+	remaining := len(switches)
+	if remaining == 0 {
+		if onDone != nil {
+			s.Net.Eng.After(0, func() { onDone(0, 0) })
+		}
+		return
+	}
+	totalRe, totalStale := 0, 0
+	for _, sw := range switches {
+		s.reconcileSwitch(sw, func(re, stale int) {
+			totalRe += re
+			totalStale += stale
+			remaining--
+			if remaining == 0 && onDone != nil {
+				onDone(totalRe, totalStale)
+			}
+		})
+	}
+}
+
+// unionIntent collects every shard's intended rules for one switch, shards
+// in index order and channels in sorted-ID order within each — the
+// deterministic message order reconciliation and the audit both key on.
+func (s *ShardedMC) unionIntent(node topo.NodeID) (intent map[reconKey]*flowtable.Entry, intentOrder []reconKey, groupIntent map[flowtable.GroupID]*flowtable.Group, groupOrder []flowtable.GroupID) {
+	intent = make(map[reconKey]*flowtable.Entry)
+	groupIntent = make(map[flowtable.GroupID]*flowtable.Group)
+	for _, mc := range s.shards {
+		for _, id := range sortedChanIDs(mc.channels) {
+			st := mc.channels[id]
+			for _, rr := range st.rules {
+				if rr.node != node {
+					continue
+				}
+				if rr.entry != nil {
+					k := entryReconKey(rr.entry)
+					if _, dup := intent[k]; !dup {
+						intentOrder = append(intentOrder, k)
+					}
+					intent[k] = rr.entry
+				}
+				if rr.group != nil {
+					if _, dup := groupIntent[rr.group.ID]; !dup {
+						groupOrder = append(groupOrder, rr.group.ID)
+					}
+					groupIntent[rr.group.ID] = rr.group
+				}
+			}
+		}
+	}
+	return intent, intentOrder, groupIntent, groupOrder
+}
+
+// reconcileSwitch is the sharded takeover's dump-and-diff for one switch.
+// It must run at the router, not per shard: a shard diffing the dump
+// against only its own intent would classify every sibling shard's live
+// rules as stale and delete them. Same convergence order as the Cluster's
+// reconciliation — installs before deletes, closed by a barrier.
+func (s *ShardedMC) reconcileSwitch(sw *netsim.Switch, onDone func(reinstalled, stale int)) {
+	mc := s.shards[0] // the router borrows shard 0's southbound channel
+	if sw.Down {
+		s.Net.Eng.After(0, func() { onDone(0, 0) })
+		return
+	}
+	mc.Ch.DumpFlows(sw, mc.gate3(func(entries []*flowtable.Entry, groups []flowtable.GroupID, ok bool) {
+		if !ok {
+			onDone(0, 0)
+			return
+		}
+		intent, intentOrder, groupIntent, groupOrder := s.unionIntent(sw.ID)
+		have := make(map[reconKey]bool)
+		staleSeen := make(map[uint64]bool)
+		var staleCookies []uint64
+		for _, e := range entries {
+			if !mflowCookie(e.Cookie) {
+				continue
+			}
+			k := entryReconKey(e)
+			if _, want := intent[k]; want {
+				have[k] = true
+				continue
+			}
+			if !staleSeen[e.Cookie] {
+				staleSeen[e.Cookie] = true
+				staleCookies = append(staleCookies, e.Cookie)
+			}
+		}
+		haveGroup := make(map[flowtable.GroupID]bool)
+		for _, gid := range groups {
+			haveGroup[gid] = true
+			if _, want := groupIntent[gid]; !want {
+				sw.Table.DeleteGroup(gid)
+			}
+		}
+		var mods []ctrlplane.Mod
+		for _, gid := range groupOrder {
+			if !haveGroup[gid] {
+				mods = append(mods, ctrlplane.Mod{Switch: sw, Group: groupIntent[gid]})
+			}
+		}
+		for _, k := range intentOrder {
+			if !have[k] {
+				mods = append(mods, ctrlplane.Mod{Switch: sw, Entry: intent[k]})
+			}
+		}
+		reinstalled := len(mods)
+		staleDeleted := 0
+		mc.Ch.InstallAllResult(mods, nil)
+		for _, cookie := range staleCookies {
+			mc.Ch.DeleteByCookie(sw, cookie, mc.gateN(func(removed int) {
+				if removed > 0 {
+					staleDeleted += removed
+				}
+			}))
+		}
+		mc.Ch.Barrier(sw, mc.gateB(func(bool) {
+			onDone(reinstalled, staleDeleted)
+		}))
+	}))
+}
+
+// Audit omnisciently diffs every switch's installed m-flow rules against
+// the union of the shards' intent — the sharded twin of Cluster.Audit, and
+// the takeover test's (0, 0) acceptance bar.
+func (s *ShardedMC) Audit() (stale, missing int) {
+	for _, sw := range s.Net.Switches() {
+		intent, _, _, _ := s.unionIntent(sw.ID)
+		have := make(map[reconKey]bool)
+		for _, e := range sw.Table.Entries() {
+			if !mflowCookie(e.Cookie) {
+				continue
+			}
+			k := entryReconKey(e)
+			have[k] = true
+			if _, want := intent[k]; !want {
+				stale++
+			}
+		}
+		// lint:ignore detrange membership counting; result independent of order
+		for k := range intent {
+			if !have[k] {
+				missing++
+			}
+		}
+	}
+	return stale, missing
+}
+
+// Telemetry aggregates the shards' counters in the single-MC fixed order,
+// summing across shards, with the scale-out counters appended.
+func (s *ShardedMC) Telemetry() *metrics.Counters {
+	c := metrics.NewCounters()
+	var admitted, queued, shed, peak, degraded, refused, restored uint64
+	var evicted, reinstalls, fulls, hits, misses, batches, batched uint64
+	for _, mc := range s.shards {
+		admitted += mc.RequestsAdmitted
+		queued += mc.RequestsQueued
+		shed += mc.RequestsShed
+		peak += mc.QueuePeak
+		degraded += mc.ChannelsDegraded
+		refused += mc.ChannelsRefused
+		restored += mc.FlowsRestored
+		evicted += mc.RulesEvicted
+		reinstalls += mc.MissReinstalls
+		fulls += mc.Ch.TableFulls
+		hits += mc.PathCacheHits
+		misses += mc.PathCacheMisses
+		batches += mc.Ch.Batches
+		batched += mc.Ch.BatchedMods
+	}
+	c.Set("dials_admitted", admitted)
+	c.Set("dials_queued", queued)
+	c.Set("dials_shed", shed)
+	c.Set("queue_peak", peak)
+	c.Set("channels_degraded", degraded)
+	c.Set("channels_refused", refused)
+	c.Set("flows_restored", restored)
+	c.Set("mflow_rules_evicted", evicted)
+	c.Set("miss_reinstalls", reinstalls)
+	c.Set("table_full_replies", fulls)
+	c.Set("path_cache_hits", hits)
+	c.Set("path_cache_misses", misses)
+	c.Set("sb_batches", batches)
+	c.Set("sb_batched_mods", batched)
+	return c
+}

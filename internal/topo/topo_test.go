@@ -245,6 +245,48 @@ func TestPortTo(t *testing.T) {
 	}
 }
 
+// TestFatTree16Invariants pins the large-fabric arithmetic the scale-out
+// benches depend on: a k-ary fat-tree has 5k^2/4 switches, k^3/4 hosts,
+// k ports per switch, unique addresses, and (k/2)^2 equal-cost paths
+// between hosts in different pods.
+func TestFatTree16Invariants(t *testing.T) {
+	g, err := FatTree(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(g.Switches()); n != 320 {
+		t.Errorf("switches = %d, want 320 (5k^2/4)", n)
+	}
+	if n := len(g.Hosts()); n != 1024 {
+		t.Errorf("hosts = %d, want 1024 (k^3/4)", n)
+	}
+	for _, id := range g.Switches() {
+		if p := len(g.Node(id).Ports); p != 16 {
+			t.Fatalf("switch %s has %d ports, want 16", g.Node(id).Name, p)
+		}
+	}
+	ips := map[addr.IP]bool{}
+	macs := map[addr.MAC]bool{}
+	for _, h := range g.Hosts() {
+		n := g.Node(h)
+		if ips[n.IP] || macs[n.MAC] {
+			t.Fatalf("duplicate address on %s", n.Name)
+		}
+		ips[n.IP] = true
+		macs[n.MAC] = true
+	}
+	hosts := g.Hosts()
+	p := g.EqualCostPaths(hosts[0], hosts[len(hosts)-1], 0)
+	if len(p) != 64 {
+		t.Fatalf("cross-pod equal-cost paths = %d, want 64 ((k/2)^2)", len(p))
+	}
+	for _, path := range p {
+		if path.SwitchCount(g) != 5 {
+			t.Fatalf("cross-pod path %s has %d switches, want 5", path.Render(g), path.SwitchCount(g))
+		}
+	}
+}
+
 func BenchmarkFatTreeBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := FatTree(8); err != nil {
