@@ -129,6 +129,12 @@ var scenarios = []scenarioSpec{
 		why:  "admission control and graceful degradation live in the MC",
 		run:  stormReport,
 	},
+	{
+		name: "partition",
+		doc:  "management partitions: symmetric controller split, asymmetric zombie-primary, heal-and-rejoin; lease step-down and epoch fencing",
+		why:  "partition-tolerant mastership lives in the MC cluster",
+		run:  partitionReport,
+	},
 }
 
 // scenarioByName finds a registered scenario, or nil.
@@ -470,6 +476,107 @@ func mckillReport(w io.Writer, secure bool, from, to, mns, mflows, fanout, size 
 	wall := time.Duration(end - start)
 	fmt.Fprintf(w, "delivered %d bytes in %v (%.1f Mbps) through %d faults and %d takeover(s)\n",
 		got, wall, float64(size)*8/wall.Seconds()/1e6, len(runner.Applied), cl.Takeovers())
+	stale, missing := cl.Audit()
+	fmt.Fprintf(w, "flow-table audit: stale=%d missing=%d\n", stale, missing)
+	fmt.Fprint(w, cl.Telemetry().String())
+	return nil
+}
+
+// partitionReport plays the management-partition storm against a MIC
+// transfer served by a failover cluster with lease-based mastership and
+// fencing epochs: a symmetric controller split (the active steps down, the
+// standby takes over, the deposed member rejoins demoted on heal), then an
+// asymmetric zombie-primary partition (the active loses only its outbound
+// paths — its lease expires while a mid-partition fabric cut tempts it to
+// keep repairing), then a full heal. The report shows every step-down and
+// takeover, the final fencing epoch, switch-side stale rejections, journal
+// divergence, and the flow-table audit — the acceptance bar is stale=0,
+// missing=0, divergent=0 with fencing on. Everything it prints is a function
+// of its arguments — the determinism test in main_test.go runs it twice and
+// asserts byte-identical output.
+func partitionReport(w io.Writer, secure bool, from, to, mns, mflows, fanout, size int, seed uint64) error {
+	g, err := topo.FatTree(4)
+	if err != nil {
+		return err
+	}
+	eng := sim.New()
+	net := netsim.New(eng, g, netsim.Config{})
+	cl, err := mic.NewCluster(net, mic.Config{
+		MNs: mns, MFlows: mflows, MulticastFanout: fanout, Seed: seed,
+		AutoRepair: true, RepairMaxRetries: 20,
+	}, mic.ClusterConfig{})
+	if err != nil {
+		return err
+	}
+	var stacks []*transport.Stack
+	for _, hid := range g.Hosts() {
+		stacks = append(stacks, transport.NewStack(net.Host(hid)))
+	}
+	got := 0
+	var start, end sim.Time
+	mic.Listen(stacks[to], 80, secure, func(s *mic.Stream) {
+		s.OnData(func(b []byte) {
+			got += len(b)
+			if got >= size {
+				end = eng.Now()
+			}
+		})
+	})
+	client := mic.NewClient(stacks[from], cl)
+	client.Secure = secure
+	data := make([]byte, size)
+	var dialErr error
+	client.Dial(stacks[to].Host.IP.String(), 80, func(s *mic.Stream, err error) {
+		if err != nil {
+			dialErr = err
+			return
+		}
+		start = eng.Now()
+		s.Send(data)
+	})
+
+	sched, err := chaos.PartitionScenario(g, seed, chaos.PartitionConfig{From: g.Hosts()[from], To: g.Hosts()[to]})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "partition schedule (seed %d):\n%s", seed, sched.Render(g))
+	runner := chaos.NewRunner(net, nil)
+	runner.OnFault = func(f chaos.Fault) {
+		fmt.Fprintf(w, "%12v  fault  %s\n", time.Duration(eng.Now()), f.Kind)
+	}
+	cl.OnStepDown = func(member int, at sim.Time) {
+		fmt.Fprintf(w, "%12v  step-down member=%d (lease expired)\n", time.Duration(at), member)
+	}
+	cl.OnTakeover = func(ts mic.TakeoverStats) {
+		fmt.Fprintf(w, "%12v  takeover member=%d epoch=%d channels=%d reinstalled=%d stale-deleted=%d\n",
+			time.Duration(ts.At), ts.Member, cl.Fence(), ts.Channels, ts.Reinstalled, ts.StaleDeleted)
+	}
+	runner.Play(sched)
+
+	// The cluster's heartbeat tickers run forever; drive the engine for a
+	// fixed window, stop the tickers, then drain what remains.
+	eng.RunFor(2 * time.Second)
+	cl.Stop()
+	eng.Run()
+	if dialErr != nil {
+		return dialErr
+	}
+	if got < size {
+		return fmt.Errorf("micsim: transfer incomplete (%d/%d bytes)", got, size)
+	}
+	wall := time.Duration(end - start)
+	fmt.Fprintf(w, "delivered %d bytes in %v (%.1f Mbps) through %d faults and %d takeover(s)\n",
+		got, wall, float64(size)*8/wall.Seconds()/1e6, len(runner.Applied), cl.Takeovers())
+	var switchRejects uint64
+	var maxMark uint64
+	for _, sw := range net.Switches() {
+		switchRejects += sw.StaleRejected
+		if sw.FenceEpoch > maxMark {
+			maxMark = sw.FenceEpoch
+		}
+	}
+	fmt.Fprintf(w, "fencing: epoch=%d switch-mark=%d switch-rejects=%d journal-divergent=%d\n",
+		cl.Fence(), maxMark, switchRejects, cl.Journal.Divergent)
 	stale, missing := cl.Audit()
 	fmt.Fprintf(w, "flow-table audit: stale=%d missing=%d\n", stale, missing)
 	fmt.Fprint(w, cl.Telemetry().String())

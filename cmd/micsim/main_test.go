@@ -29,6 +29,11 @@ func TestScenarioReportsAreDeterministic(t *testing.T) {
 		{"mckill", func(w io.Writer, seed uint64) error {
 			return mckillReport(w, false, 0, 15, 3, 2, 1, 4*size, seed)
 		}},
+		// partition exercises the lease/fencing paths: mgmt cuts, step-downs,
+		// epoch bumps, Hello fan-out, and stale-write rejection at switches.
+		{"partition", func(w io.Writer, seed uint64) error {
+			return partitionReport(w, false, 0, 15, 3, 2, 1, size, seed)
+		}},
 		// storm exercises the admission/backoff paths: token-bucket drains,
 		// queue shedding, degraded-F admissions, seeded retry jitter.
 		{"storm", func(w io.Writer, seed uint64) error {

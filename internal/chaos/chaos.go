@@ -57,6 +57,12 @@ const (
 	// MCRestart brings the host back; the controller rejoins as a standby.
 	MCKill
 	MCRestart
+	// MgmtCut severs the MFrom→MTo direction of the management network —
+	// both endpoints stay alive, messages between them vanish in flight.
+	// Cut one direction only for an asymmetric partition. MgmtHeal restores
+	// the direction.
+	MgmtCut
+	MgmtHeal
 )
 
 func (k Kind) String() string {
@@ -83,14 +89,18 @@ func (k Kind) String() string {
 		return "mc-kill"
 	case MCRestart:
 		return "mc-restart"
+	case MgmtCut:
+		return "mgmt-cut"
+	case MgmtHeal:
+		return "mgmt-heal"
 	}
 	return fmt.Sprintf("chaos.Kind(%d)", int(k))
 }
 
 // Fault is one scheduled fault. Which fields matter depends on Kind:
 // link faults use Node/Port, switch faults use Node, pod faults use Pod,
-// ControlLoss uses Loss, LinkDegrade uses Node/Port/Profile, and
-// MCKill/MCRestart use Ctrl.
+// ControlLoss uses Loss, LinkDegrade uses Node/Port/Profile,
+// MCKill/MCRestart use Ctrl, and MgmtCut/MgmtHeal use MFrom/MTo.
 type Fault struct {
 	At      time.Duration // offset from the moment the schedule starts playing
 	Kind    Kind
@@ -100,6 +110,10 @@ type Fault struct {
 	Ctrl    int // controller-host index for MCKill/MCRestart
 	Loss    float64
 	Profile netsim.FaultProfile
+
+	// MFrom and MTo are the management-network endpoints of a directional
+	// MgmtCut/MgmtHeal.
+	MFrom, MTo netsim.MgmtEnd
 }
 
 func (f Fault) render(g *topo.Graph) string {
@@ -123,8 +137,18 @@ func (f Fault) render(g *topo.Graph) string {
 		return fmt.Sprintf("%v %s %s<->%s", f.At, f.Kind, g.Node(f.Node).Name, g.Node(peer).Name)
 	case MCKill, MCRestart:
 		return fmt.Sprintf("%v %s ctrl%d", f.At, f.Kind, f.Ctrl)
+	case MgmtCut, MgmtHeal:
+		return fmt.Sprintf("%v %s %s->%s", f.At, f.Kind, mgmtEndName(g, f.MFrom), mgmtEndName(g, f.MTo))
 	}
 	return fmt.Sprintf("%v %s", f.At, f.Kind)
+}
+
+// mgmtEndName renders a management endpoint with switch names resolved.
+func mgmtEndName(g *topo.Graph, e netsim.MgmtEnd) string {
+	if e.Ctrl >= 0 {
+		return fmt.Sprintf("ctrl%d", e.Ctrl)
+	}
+	return g.Node(e.Node).Name
 }
 
 // Schedule is a fault sequence ordered by At.
@@ -275,6 +299,10 @@ func (r *Runner) apply(f Fault) {
 		r.Net.SetCtrlHostDown(f.Ctrl, true)
 	case MCRestart:
 		r.Net.SetCtrlHostDown(f.Ctrl, false)
+	case MgmtCut:
+		r.Net.SetMgmtCut(f.MFrom, f.MTo, true)
+	case MgmtHeal:
+		r.Net.SetMgmtCut(f.MFrom, f.MTo, false)
 	}
 	r.Applied = append(r.Applied, f)
 	if r.OnFault != nil {
@@ -612,5 +640,134 @@ func FailoverScenario(g *topo.Graph, seed uint64, cfg FailoverConfig) (Schedule,
 		{At: cfg.Start + cfg.Cut + cfg.Heal, Kind: LinkRestore, Node: fromEdge, Port: cutPort},
 		{At: cfg.Start + cfg.Cut + cfg.Heal, Kind: LinkRestore, Node: toEdge, Port: preCutPort},
 	}
+	return s.sorted(), nil
+}
+
+// PartitionConfig parameterizes PartitionScenario. Zero fields pick defaults.
+type PartitionConfig struct {
+	// From and To are the transfer endpoints whose channels must ride
+	// through both partitions. Both required.
+	From, To topo.NodeID
+
+	// CtrlA and CtrlB are the two controller hosts of the cluster under
+	// test: A the founding active, B its standby (defaults 0 and 1).
+	CtrlA, CtrlB int
+
+	Start   time.Duration // act 1 split time, mid-transfer (default 30ms)
+	Window  time.Duration // how long each partition lasts (default 40ms)
+	Spacing time.Duration // gap between the acts (default 20ms)
+
+	// CutAt is the offset into act 2 at which a fabric link cut lands — late
+	// enough that a fenced cluster has completed its takeover, so the repair
+	// race pits the new active against the zombie (default 15ms).
+	CutAt time.Duration
+	Heal  time.Duration // how long the act-2 fabric cut lasts (default 30ms)
+}
+
+func (c PartitionConfig) withDefaults() PartitionConfig {
+	if c.CtrlB == 0 && c.CtrlA == 0 {
+		c.CtrlB = 1
+	}
+	if c.Start <= 0 {
+		c.Start = 30 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = 40 * time.Millisecond
+	}
+	if c.Spacing <= 0 {
+		c.Spacing = 20 * time.Millisecond
+	}
+	if c.CutAt <= 0 {
+		c.CutAt = 15 * time.Millisecond
+	}
+	if c.Heal <= 0 {
+		c.Heal = 30 * time.Millisecond
+	}
+	return c
+}
+
+// PartitionScenario builds the management-partition storm for a fat-tree
+// running a two-member mic.Cluster, deterministically from seed. Three acts:
+//
+// Act 1 — symmetric split: ctrlA↔ctrlB cut in both directions. A's lease
+// expires and it steps down; B takes over with a bumped fencing epoch. When
+// the split heals, A hears B's heartbeats and rejoins as a demoted standby —
+// the partition-heal-and-rejoin path.
+//
+// Act 2 — asymmetric zombie-primary: the now-active B loses its outbound
+// management paths only — to A (its beats vanish, so A will take over) and
+// to a seed-picked strict subset of switches. B itself hears everything and,
+// with fencing ablated, has no idea it was deposed. Mid-partition a fabric
+// link cut forces a repair: the zombie and the new active race to install
+// rules, which is exactly the write race fencing epochs must win. All inbound
+// paths to B stay up — the asymmetry is the point.
+//
+// Act 3 — heal: every management cut is restored, the fabric cut heals, and
+// the deposed member must rejoin as a standby with zero stale rules and zero
+// journal divergence (fencing on).
+func PartitionScenario(g *topo.Graph, seed uint64, cfg PartitionConfig) (Schedule, error) {
+	cfg = cfg.withDefaults()
+	if PodOfHost(g, cfg.From) == 0 || PodOfHost(g, cfg.To) == 0 {
+		return nil, fmt.Errorf("chaos: From/To must be fat-tree hosts")
+	}
+	if cfg.CtrlA == cfg.CtrlB {
+		return nil, fmt.Errorf("chaos: CtrlA and CtrlB must differ (got %d)", cfg.CtrlA)
+	}
+	rng := sim.NewRNG(seed).Stream("chaos-partition")
+	ctrlA, ctrlB := netsim.MgmtCtrl(cfg.CtrlA), netsim.MgmtCtrl(cfg.CtrlB)
+	var s Schedule
+
+	// Act 1: symmetric controller split, healed after Window.
+	t1 := cfg.Start
+	s = append(s,
+		Fault{At: t1, Kind: MgmtCut, MFrom: ctrlA, MTo: ctrlB},
+		Fault{At: t1, Kind: MgmtCut, MFrom: ctrlB, MTo: ctrlA},
+		Fault{At: t1 + cfg.Window, Kind: MgmtHeal, MFrom: ctrlA, MTo: ctrlB},
+		Fault{At: t1 + cfg.Window, Kind: MgmtHeal, MFrom: ctrlB, MTo: ctrlA})
+
+	// Act 2: asymmetric zombie — B (the active since act 1) loses outbound
+	// reachability to A and to a strict subset of switches. The subset is a
+	// seed-picked half of the fabric, so the zombie can still damage the
+	// other half.
+	t2 := t1 + cfg.Window + cfg.Spacing
+	switches := g.Switches()
+	if len(switches) < 2 {
+		return nil, fmt.Errorf("chaos: need 2+ switches for a strict subset, have %d", len(switches))
+	}
+	perm := rng.Perm(len(switches))
+	subset := make([]topo.NodeID, 0, len(switches)/2)
+	for _, i := range perm[:len(switches)/2] {
+		subset = append(subset, switches[i])
+	}
+	sort.Slice(subset, func(i, j int) bool { return subset[i] < subset[j] })
+	s = append(s, Fault{At: t2, Kind: MgmtCut, MFrom: ctrlB, MTo: ctrlA})
+	for _, id := range subset {
+		s = append(s, Fault{At: t2, Kind: MgmtCut, MFrom: ctrlB, MTo: netsim.MgmtSwitch(id)})
+	}
+	// Mid-partition fabric cut: an uplink of the responder's edge, forcing
+	// a self-healing reroute while two controllers think they own the
+	// fabric. Landed after CutAt so a fenced cluster's takeover (lease +
+	// misses, single-digit milliseconds) has already completed.
+	toEdge := g.Node(cfg.To).Ports[0].Peer
+	var toUp []int
+	for port, p := range g.Node(toEdge).Ports {
+		if strings.HasPrefix(g.Node(p.Peer).Name, "agg") {
+			toUp = append(toUp, port)
+		}
+	}
+	if len(toUp) < 2 {
+		return nil, fmt.Errorf("chaos: edge %s needs 2+ agg uplinks", g.Node(toEdge).Name)
+	}
+	cutPort := sim.Pick(rng, toUp)
+	s = append(s, Fault{At: t2 + cfg.CutAt, Kind: LinkCut, Node: toEdge, Port: cutPort})
+	s = append(s, Fault{At: t2 + cfg.CutAt + cfg.Heal, Kind: LinkRestore, Node: toEdge, Port: cutPort})
+
+	// Act 3: heal every management cut; the deposed member rejoins.
+	t3 := t2 + cfg.Window
+	s = append(s, Fault{At: t3, Kind: MgmtHeal, MFrom: ctrlB, MTo: ctrlA})
+	for _, id := range subset {
+		s = append(s, Fault{At: t3, Kind: MgmtHeal, MFrom: ctrlB, MTo: netsim.MgmtSwitch(id)})
+	}
+
 	return s.sorted(), nil
 }

@@ -27,6 +27,12 @@ import (
 // flowtable.ErrTableFull, where the switch answered and refused.
 var ErrUnacked = errors.New("ctrlplane: message unacknowledged after retries")
 
+// ErrStaleEpoch is the switch's negative acknowledgement to a state mutation
+// carrying a fencing epoch below the switch's high-water mark: the sender
+// has been fenced off by a newer master and must stop treating itself as
+// authoritative. Like ErrTableFull this is an answered refusal, not a loss.
+var ErrStaleEpoch = errors.New("ctrlplane: rejected, fencing epoch is stale")
+
 // Channel is the controller's handle to the fabric's switches.
 //
 // Reliability model: every state-changing message (FlowMod, GroupMod,
@@ -72,6 +78,20 @@ type Channel struct {
 	// scheduled by the old incarnation still reference the old object.
 	Down bool
 
+	// CtrlHost binds the channel to a controller-host index on the
+	// management network; messages then honor directional partition cuts
+	// (netsim.SetMgmtCut) between that host and each switch. -1 (the
+	// NewChannel default) leaves the channel unbound: standalone controllers
+	// are never partitioned away.
+	CtrlHost int
+
+	// Epoch is stamped on every state-mutating southbound message (FlowMod,
+	// GroupMod, delete, Barrier, PacketOut, batch). Switches persist the
+	// highest epoch seen and refuse lower ones (netsim.Switch.AcceptFenced),
+	// so a deposed master's writes die at the switch even if it never
+	// noticed losing mastership. 0 means unfenced (standalone controllers).
+	Epoch uint64
+
 	// Counters for control-plane overhead and reliability experiments.
 	FlowMods    uint64
 	GroupMods   uint64
@@ -84,10 +104,12 @@ type Channel struct {
 	Retransmits uint64 // attempts beyond the first
 	Timeouts    uint64 // ack timers that expired
 	GiveUps     uint64 // messages abandoned after MaxRetries
-	Acked       uint64 // messages positively acknowledged
-	TableFulls  uint64 // FlowMods the switch refused with a table-full reply
-	Batches     uint64 // coalesced per-switch messages sent by InstallBatched
-	BatchedMods uint64 // individual mods carried inside those batches
+	Acked        uint64 // messages positively acknowledged
+	TableFulls   uint64 // FlowMods the switch refused with a table-full reply
+	StaleRejects uint64 // mutations the switch refused for a stale fencing epoch
+	Hellos       uint64 // epoch-announcement handshakes sent
+	Batches      uint64 // coalesced per-switch messages sent by InstallBatched
+	BatchedMods  uint64 // individual mods carried inside those batches
 
 	lossRNG  *sim.RNG
 	inflight map[topo.NodeID]int      // unresolved messages per switch
@@ -113,10 +135,30 @@ func NewChannel(net *netsim.Network) *Channel {
 		Eng:      net.Eng,
 		Net:      net,
 		Latency:  DefaultControlLatency,
+		CtrlHost: -1,
 		inflight: make(map[topo.NodeID]int),
 		failed:   make(map[topo.NodeID]uint64),
 		waiters:  make(map[topo.NodeID][]func()),
 	}
+}
+
+// mgmtTo reports whether a message from this channel's controller host
+// currently reaches sw over the management network (partition cuts only;
+// switch liveness is judged separately).
+func (c *Channel) mgmtTo(sw *netsim.Switch) bool {
+	if c.CtrlHost < 0 {
+		return true
+	}
+	return c.Net.MgmtReachable(netsim.MgmtCtrl(c.CtrlHost), netsim.MgmtSwitch(sw.ID))
+}
+
+// mgmtFrom reports whether sw's replies currently reach this channel's
+// controller host — the other direction of an asymmetric partition.
+func (c *Channel) mgmtFrom(sw *netsim.Switch) bool {
+	if c.CtrlHost < 0 {
+		return true
+	}
+	return c.Net.MgmtReachable(netsim.MgmtSwitch(sw.ID), netsim.MgmtCtrl(c.CtrlHost))
 }
 
 // ackTimeout returns the effective per-attempt ack timeout: configured or
@@ -214,14 +256,15 @@ func (c *Channel) deliver(sw *netsim.Switch, apply func(), onDone func(ok bool))
 		c.Eng.After(c.Latency, func() {
 			// A dead switch neither applies nor acknowledges: the message
 			// vanishes exactly like a loss, which is what makes the liveness
-			// prober and the give-up path necessary.
-			if reqLost || sw.Down {
+			// prober and the give-up path necessary. A management-network
+			// partition black-holes the direction it cuts the same way.
+			if reqLost || sw.Down || !c.mgmtTo(sw) {
 				return
 			}
 			apply()
 			ackLost := c.lost()
 			c.Eng.After(c.Latency, func() {
-				if ackLost || resolved || c.Down {
+				if ackLost || resolved || c.Down || !c.mgmtFrom(sw) {
 					return
 				}
 				resolved = true
@@ -288,6 +331,10 @@ func (c *Channel) FlowModErr(sw *netsim.Switch, e *flowtable.Entry, onDone func(
 	c.FlowMods++
 	var insErr error
 	c.deliver(sw, func() {
+		if !sw.AcceptFenced(c.Epoch) {
+			insErr = ErrStaleEpoch
+			return
+		}
 		insErr = sw.Table.TryInsert(e, c.Eng.Now())
 	}, func(ok bool) {
 		if !ok {
@@ -296,7 +343,13 @@ func (c *Channel) FlowModErr(sw *netsim.Switch, e *flowtable.Entry, onDone func(
 			}
 			return
 		}
-		if insErr != nil {
+		// Classify here, not in apply: retransmits re-run apply and would
+		// double-count refusals.
+		switch insErr {
+		case nil:
+		case ErrStaleEpoch:
+			c.StaleRejects++
+		default:
 			c.TableFulls++
 		}
 		if onDone != nil {
@@ -315,10 +368,25 @@ func (c *Channel) GroupMod(sw *netsim.Switch, g *flowtable.Group, onApplied func
 }
 
 // GroupModResult installs g on sw and reports whether the switch
-// acknowledged it.
+// acknowledged and accepted it (a stale-epoch refusal counts as failure).
 func (c *Channel) GroupModResult(sw *netsim.Switch, g *flowtable.Group, onDone func(ok bool)) {
 	c.GroupMods++
-	c.deliver(sw, func() { sw.Table.SetGroup(g) }, onDone)
+	stale := false
+	c.deliver(sw, func() {
+		if !sw.AcceptFenced(c.Epoch) {
+			stale = true
+			return
+		}
+		sw.Table.SetGroup(g)
+	}, func(ok bool) {
+		if stale {
+			c.StaleRejects++
+			ok = false
+		}
+		if onDone != nil {
+			onDone(ok)
+		}
+	})
 }
 
 // DeleteByCookie removes all entries with the cookie from sw; onDone (may
@@ -328,17 +396,25 @@ func (c *Channel) GroupModResult(sw *netsim.Switch, g *flowtable.Group, onDone f
 func (c *Channel) DeleteByCookie(sw *netsim.Switch, cookie uint64, onDone func(removed int)) {
 	c.Deletes++
 	n := -1
+	stale := false
 	c.deliver(sw, func() {
+		if !sw.AcceptFenced(c.Epoch) {
+			stale = true
+			return
+		}
 		removed := sw.Table.DeleteByCookie(cookie)
 		// Retransmitted deletes find nothing; report the first pass's count.
 		if n < 0 {
 			n = removed
 		}
 	}, func(ok bool) {
+		if stale {
+			c.StaleRejects++
+		}
 		if onDone == nil {
 			return
 		}
-		if !ok {
+		if !ok || stale {
 			onDone(-1)
 			return
 		}
@@ -358,7 +434,11 @@ func (c *Channel) PacketOut(sw *netsim.Switch, actions []flowtable.Action, p *pa
 		return
 	}
 	c.Eng.After(c.Latency, func() {
-		if sw.Down {
+		if sw.Down || !c.mgmtTo(sw) {
+			return
+		}
+		if !sw.AcceptFenced(c.Epoch) {
+			c.StaleRejects++
 			return
 		}
 		sw.Execute(actions, -1, p)
@@ -368,11 +448,26 @@ func (c *Channel) PacketOut(sw *netsim.Switch, actions []flowtable.Action, p *pa
 // Barrier completes after every message sent to sw before the barrier has
 // been acknowledged or abandoned, plus one reliable round trip of its own —
 // the OFPT_BARRIER_REQUEST/REPLY semantics this package's doc promises.
-// onDone reports whether the barrier itself was acknowledged.
+// onDone reports whether the barrier itself was acknowledged and accepted;
+// a stale-epoch refusal reads as failure, so a fenced-off master cannot
+// mistake its barriers for proof of write authority.
 func (c *Channel) Barrier(sw *netsim.Switch, onDone func(ok bool)) {
 	c.Barriers++
 	fire := func() {
-		c.deliver(sw, func() {}, onDone)
+		stale := false
+		c.deliver(sw, func() {
+			if !sw.AcceptFenced(c.Epoch) {
+				stale = true
+			}
+		}, func(ok bool) {
+			if stale {
+				c.StaleRejects++
+				ok = false
+			}
+			if onDone != nil {
+				onDone(ok)
+			}
+		})
 	}
 	if c.inflight[sw.ID] > 0 {
 		c.waiters[sw.ID] = append(c.waiters[sw.ID], fire)
@@ -392,12 +487,12 @@ func (c *Channel) Echo(sw *netsim.Switch, cb func(alive bool)) {
 	answered := false
 	reqLost := c.lost()
 	c.Eng.After(c.Latency, func() {
-		if reqLost || sw.Down {
+		if reqLost || sw.Down || !c.mgmtTo(sw) {
 			return
 		}
 		repLost := c.lost()
 		c.Eng.After(c.Latency, func() {
-			if repLost || answered || c.Down {
+			if repLost || answered || c.Down || !c.mgmtFrom(sw) {
 				return
 			}
 			answered = true
@@ -413,20 +508,73 @@ func (c *Channel) Echo(sw *netsim.Switch, cb func(alive bool)) {
 }
 
 // Heartbeat sends one controller-to-controller liveness beat over the
-// management network: a single unretransmitted one-way message, subject to
-// the channel's loss model. cb runs at the receiver after one control
-// latency if the beat survives. A crashed sender (Down) emits nothing —
-// which is precisely the signal a standby watches for.
-func (c *Channel) Heartbeat(cb func()) {
+// management network to the controller host at index `to`: a single
+// unretransmitted round trip, subject to the channel's loss model and to
+// directional partition cuts between the two hosts. cb runs at the receiver
+// after one control latency if the beat survives; ack (may be nil) runs at
+// the sender with true when the receiver's acknowledgement returns, or
+// false after the ack timeout — the lease-renewal signal. A crashed sender
+// (Down) emits nothing and hears nothing — which is precisely the signal a
+// standby watches for.
+func (c *Channel) Heartbeat(to int, cb func(), ack func(ok bool)) {
 	if c.Down {
 		return
 	}
 	c.Heartbeats++
-	if c.lost() {
-		return
+	answered := false
+	reqLost := c.lost()
+	reach := func(from, dst int) bool {
+		if c.CtrlHost < 0 {
+			return true
+		}
+		return c.Net.MgmtReachable(netsim.MgmtCtrl(from), netsim.MgmtCtrl(dst))
 	}
 	c.Eng.After(c.Latency, func() {
+		if reqLost || c.Net.CtrlHostDown(to) || !reach(c.CtrlHost, to) {
+			return
+		}
 		cb()
+		ackLost := c.lost()
+		c.Eng.After(c.Latency, func() {
+			if ackLost || answered || c.Down || !reach(to, c.CtrlHost) {
+				return
+			}
+			answered = true
+			if ack != nil {
+				ack(true)
+			}
+		})
+	})
+	c.Eng.After(c.ackTimeout(), func() {
+		if !answered && !c.Down {
+			answered = true
+			if ack != nil {
+				ack(false)
+			}
+		}
+	})
+}
+
+// Hello announces the channel's fencing epoch to sw: the first message a
+// newly promoted master sends, carried reliably, so the switch's epoch
+// high-water mark rises before any reconciliation traffic arrives and every
+// straggling write from the deposed master is rejected. onDone reports
+// whether the switch acknowledged and accepted the epoch.
+func (c *Channel) Hello(sw *netsim.Switch, onDone func(ok bool)) {
+	c.Hellos++
+	stale := false
+	c.deliver(sw, func() {
+		if !sw.AcceptFenced(c.Epoch) {
+			stale = true
+		}
+	}, func(ok bool) {
+		if stale {
+			c.StaleRejects++
+			ok = false
+		}
+		if onDone != nil {
+			onDone(ok)
+		}
 	})
 }
 
@@ -550,6 +698,7 @@ func (c *Channel) InstallBatched(mods []Mod, onAll func(failed int)) {
 		c.BatchedMods += uint64(nmods)
 		refused := 0
 		applied := false
+		stale := false
 		c.deliver(b.sw, func() {
 			// Retransmitted batches are duplicates of an already-applied
 			// message (the first arrival applied everything); re-applying
@@ -558,6 +707,10 @@ func (c *Channel) InstallBatched(mods []Mod, onAll func(failed int)) {
 				return
 			}
 			applied = true
+			if !b.sw.AcceptFenced(c.Epoch) {
+				stale = true
+				return
+			}
 			for _, m := range b.mods {
 				if m.Group != nil {
 					b.sw.Table.SetGroup(m.Group)
@@ -570,9 +723,13 @@ func (c *Channel) InstallBatched(mods []Mod, onAll func(failed int)) {
 				}
 			}
 		}, func(ok bool) {
-			if !ok {
+			switch {
+			case stale:
+				c.StaleRejects++
 				failed += nmods
-			} else {
+			case !ok:
+				failed += nmods
+			default:
 				failed += refused
 			}
 		})

@@ -118,7 +118,7 @@ func TestMultiFlowShapeMatchesFig9b(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"7", "8", "9a", "9b", "9c", "a1", "a2", "a3", "a4", "s1", "s10", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "sc"}
+	want := []string{"7", "8", "9a", "9b", "9c", "a1", "a2", "a3", "a4", "s1", "s10", "s11", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "sc"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -302,6 +302,51 @@ func TestExperimentS8Quick(t *testing.T) {
 	// milliseconds, not the 10s trial window.
 	if on.blackoutMs <= 0 || on.blackoutMs > 100 {
 		t.Fatalf("setup blackout = %.2fms, implausible", on.blackoutMs)
+	}
+}
+
+func TestExperimentS11Quick(t *testing.T) {
+	e, _ := Find("s11")
+	res, err := e.Run(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table.String()
+	if !strings.Contains(out, "mic_fencing") || !strings.Contains(out, "mic_nofencing") {
+		t.Fatalf("missing variant rows:\n%s", out)
+	}
+	// The protocol's contract, per arm. With fencing: the zombie steps down
+	// before the takeover window opens, so nothing stale survives the heal
+	// and the journal never sees a deposed master's writes. Without it: the
+	// split-brain repair race leaves both masters' rules on the switches and
+	// zombie appends in the journal — the damage the figure exists to show.
+	on, err := s11Trial(false, 1<<20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := s11Trial(true, 1<<20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.staleRules != 0 {
+		t.Fatalf("fencing-on heal left %.0f stale rules", on.staleRules)
+	}
+	if on.divergent != 0 {
+		t.Fatalf("fencing-on journal recorded %.0f divergent appends", on.divergent)
+	}
+	if off.staleRules == 0 && off.divergent == 0 {
+		t.Fatal("fencing-off ablation shows no stale installs; the control proves nothing")
+	}
+	// The symmetric-split handover blackout is lease expiry (6ms) + takeover
+	// + one retry quantum — tens of milliseconds at the very most.
+	if on.splitBlackoutMs <= 0 || on.splitBlackoutMs > 30 {
+		t.Fatalf("split dial blackout = %.2fms, implausible", on.splitBlackoutMs)
+	}
+	// The zombie-window probe rides out the asymmetric partition (the
+	// cluster refuses to serve until the successor reconciles), but must
+	// still resolve well before the retry budget runs dry.
+	if on.zombieBlackoutMs <= 0 || on.zombieBlackoutMs > 150 {
+		t.Fatalf("zombie dial blackout = %.2fms, implausible", on.zombieBlackoutMs)
 	}
 }
 

@@ -52,6 +52,7 @@ var southboundAcks = map[string]bool{
 	"(*mic/internal/ctrlplane.Channel).Barrier":          true,
 	"(*mic/internal/ctrlplane.Channel).Echo":             true,
 	"(*mic/internal/ctrlplane.Channel).Heartbeat":        true,
+	"(*mic/internal/ctrlplane.Channel).Hello":            true,
 	"(*mic/internal/ctrlplane.Channel).DumpFlows":        true,
 	"(*mic/internal/ctrlplane.Channel).InstallAll":       true,
 	"(*mic/internal/ctrlplane.Channel).InstallAllResult": true,

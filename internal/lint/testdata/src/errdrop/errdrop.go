@@ -47,3 +47,31 @@ func suppressed(mc *mic.MC) {
 	// lint:ignore errdrop fixture: best-effort close on a teardown path, nobody is left to observe the error
 	_ = mc.CloseChannel(1, nil)
 }
+
+// A step-down teardown: a deposed master sweeping its channels down must
+// not silently drop a close refusal — an unclosed channel is exactly the
+// zombie state the next takeover's reconciliation has to mop up, so the
+// sweep either checks the error or carries a reviewed suppression.
+func stepDownSweepBare(mc *mic.MC, ids []uint64) {
+	for _, id := range ids {
+		mc.CloseChannel(id, nil) // want `error result of mic.CloseChannel discarded by bare call`
+	}
+}
+
+func stepDownSweepBlank(mc *mic.MC, ids []uint64) {
+	for _, id := range ids {
+		_ = mc.CloseChannel(id, nil) // want `error result of mic.CloseChannel assigned to blank identifier`
+	}
+}
+
+// The expected teardown shape: count the refusals so the step-down report
+// can say how much the takeover's reconciliation will find.
+func stepDownSweepChecked(mc *mic.MC, ids []uint64) int {
+	refused := 0
+	for _, id := range ids {
+		if err := mc.CloseChannel(id, nil); err != nil {
+			refused++
+		}
+	}
+	return refused
+}

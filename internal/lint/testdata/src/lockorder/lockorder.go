@@ -81,6 +81,36 @@ func ackUnderDeferredLock(c *ctrl, sw *netsim.Switch) {
 	c.ch.Echo(sw, func(alive bool) {}) // want `held across southbound Echo`
 }
 
+// The lease-renewal path: a Heartbeat's ack wait spans retransmits (it is
+// what the active's lease extension rides on), so renewing under the state
+// lock stalls the whole control plane for a management round trip.
+func renewLeaseUnderLock(c *ctrl) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ch.Heartbeat(1, func() {}, func(ok bool) {}) // want `held across southbound Heartbeat`
+}
+
+// The fencing announcement a promoted master fans out is southbound too:
+// Hello waits for the switch to accept the epoch.
+func helloUnderLock(c *ctrl, sw *netsim.Switch) {
+	c.mu.Lock()
+	c.ch.Hello(sw, func(ok bool) {}) // want `held across southbound Hello`
+	c.mu.Unlock()
+}
+
+// The correct renewal shape: snapshot under the lock, release, then beat.
+// The ack callback may retake the lock because nothing holds it across the
+// wait.
+func renewLeaseUnlocked(c *ctrl) {
+	c.mu.Lock()
+	to := 1
+	c.mu.Unlock()
+	c.ch.Heartbeat(to, func() {}, func(ok bool) {
+		c.mu.Lock()
+		c.mu.Unlock()
+	})
+}
+
 // Released before the wait: no finding.
 func ackAfterUnlock(c *ctrl, sw *netsim.Switch) {
 	c.mu.Lock()

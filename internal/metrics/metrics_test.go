@@ -1,8 +1,10 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -181,5 +183,32 @@ func TestCountersOrderAndRendering(t *testing.T) {
 	const rendered = "takeovers=1\nheartbeats_sent=5\nrules_reinstalled=7\n"
 	if got := c.String(); got != rendered {
 		t.Fatalf("String() = %q, want %q", got, rendered)
+	}
+}
+
+// TestCountersConcurrent hammers one counter set from many goroutines — the
+// shape a parallel harness run produces when trials share telemetry. Run
+// under -race this is the regression net for the Counters mutex; without
+// -race it still checks no increments are lost.
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Add("beats", 1)
+				c.Set(fmt.Sprintf("worker_%d", w), uint64(i))
+				_ = c.Get("beats")
+				_ = c.String()
+				_ = c.Names()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Get("beats"); got != workers*each {
+		t.Fatalf("beats = %d, want %d", got, workers*each)
 	}
 }

@@ -219,6 +219,24 @@ func (mc *MC) shedStale(req *admitReq) {
 		waited, mc.Cfg.Admission.QueueDeadline, ErrOverloaded))
 }
 
+// quiesceAdmission is the step-down half of planning teardown: every dial
+// still parked in the admission queue is refused with ErrNotActive. A master
+// that lost its lease must not answer "yes" to anything it admitted before
+// noticing — but it can still answer, and refusing beats leaving clients to
+// time out against a controller that will never serve them.
+func (mc *MC) quiesceAdmission() {
+	q := mc.admitQueue
+	mc.admitQueue = nil
+	for _, req := range q {
+		if req.done {
+			continue
+		}
+		req.done = true
+		mc.RequestsShed++
+		req.refuse(fmt.Errorf("mic: dial abandoned at step-down: %w", ErrNotActive))
+	}
+}
+
 // resetAdmission clears the limiter state on crash/restart. Queued requests
 // from the dead life are already disarmed by the incarnation gate; their
 // callers' retry layer re-issues them, like any request in flight to a dead

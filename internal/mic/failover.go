@@ -1,8 +1,10 @@
 package mic
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"mic/internal/addr"
@@ -38,6 +40,17 @@ type ClusterConfig struct {
 	// debounce absorbs individual beat losses on a lossy management network.
 	HeartbeatMisses int
 
+	// LeaseDuration is the mastership lease. Each acknowledged heartbeat
+	// extends the active's lease to the beat's send time plus this duration;
+	// when the lease expires unrenewed (and a standby exists that could
+	// usurp), the active steps down. A standby conversely refuses to take
+	// over until at least this long has passed since it last heard the
+	// active — so a partitioned-away active has always stepped down before
+	// any successor's takeover window opens (DESIGN.md §4g). Default:
+	// HeartbeatInterval × HeartbeatMisses, which keeps detection timing
+	// identical to the miss-count-only protocol.
+	LeaseDuration time.Duration
+
 	// ReplicationLag is the journal-record shipping delay from the active to
 	// each standby — the replication stream's one-way latency.
 	ReplicationLag time.Duration
@@ -51,6 +64,14 @@ type ClusterConfig struct {
 	// DisableReconcile skips the takeover flow-table reconciliation — the
 	// ablation arm that shows why dumping and diffing switch state matters.
 	DisableReconcile bool
+
+	// DisableFencing is the partition-tolerance ablation: no mastership
+	// lease (an unreachable active never steps down), no fencing-epoch
+	// announcement to switches (stale installs land), and no journal
+	// fencing (zombie writes replay). Fence stamps are still written and
+	// Journal.Divergent still counts, so the s11 experiment can measure the
+	// damage fencing would have prevented.
+	DisableFencing bool
 }
 
 // Failover defaults.
@@ -82,6 +103,9 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	if c.RequestRetries == 0 {
 		c.RequestRetries = DefaultRequestRetries
 	}
+	if c.LeaseDuration == 0 {
+		c.LeaseDuration = time.Duration(c.HeartbeatMisses) * c.HeartbeatInterval
+	}
 	return c
 }
 
@@ -112,6 +136,17 @@ type member struct {
 	// consecutive overdue checks.
 	lastBeat  sim.Time
 	missedRun int
+
+	// leaseUntil is the active's mastership lease expiry: the latest
+	// acknowledged beat's send time plus LeaseDuration.
+	leaseUntil sim.Time
+
+	// demoted marks an ex-active that stepped down after losing its lease.
+	// A demoted standby must hear the successor's heartbeat (or see the
+	// active provably crash) before its own takeover window can open —
+	// otherwise the deposed master of a symmetric partition would usurp the
+	// very successor it just yielded to.
+	demoted bool
 }
 
 // TakeoverStats summarizes one completed takeover for observers.
@@ -143,10 +178,21 @@ type Cluster struct {
 	// OnTakeover (may be nil) observes every completed takeover.
 	OnTakeover func(TakeoverStats)
 
+	// OnStepDown (may be nil) observes every lease-loss step-down.
+	OnStepDown func(member int, at sim.Time)
+
 	members []*member
 	active  int // index of the acting member, -1 during a blackout
 
+	// takeovers is read by tests and telemetry while the engine goroutine
+	// writes it, so access goes through sync/atomic.
 	takeovers uint32
+
+	// fence is the cluster's mastership fencing epoch: bumped on every
+	// promotion, stamped on journal records, and (unless the fencing
+	// ablation is on) announced to every switch so older epochs' mutations
+	// are rejected fabric-side. The founding active runs epoch 0.
+	fence uint64
 
 	// needsReconcile flags switches whose takeover reconciliation could not
 	// complete (switch dead or dump abandoned); retried when they come back.
@@ -173,14 +219,16 @@ func NewCluster(net *netsim.Network, cfg Config, ccfg ClusterConfig) (*Cluster, 
 	}
 	// Fixed registration order: reports render counters in first-Add order.
 	for _, name := range []string{
-		"heartbeats_sent", "heartbeats_missed", "takeovers",
+		"heartbeats_sent", "heartbeats_missed", "takeovers", "stepdowns",
 		"rules_reinstalled", "rules_stale_deleted", "request_retries",
 		"journal_appends", "journal_snapshots", "journal_records",
+		"journal_divergent", "stale_rejects",
 		"dials_admitted", "dials_shed", "channels_degraded",
 		"channels_refused", "flows_restored", "mflow_rules_evicted",
 	} {
 		c.Counters.Set(name, 0)
 	}
+	c.Journal.Fencing = !c.CCfg.DisableFencing
 
 	primary, err := NewMC(net, c.Cfg)
 	if err != nil {
@@ -208,6 +256,10 @@ func NewCluster(net *netsim.Network, cfg Config, ccfg ClusterConfig) (*Cluster, 
 			}
 		case netsim.SwitchUp:
 			c.retryReconcile(ev.Node)
+		case netsim.Heal:
+			// A healed management cut may restore the path to switches whose
+			// takeover reconciliation could not complete; retry them all.
+			c.retryAllReconcile()
 		}
 	})
 
@@ -224,6 +276,10 @@ func NewCluster(net *netsim.Network, cfg Config, ccfg ClusterConfig) (*Cluster, 
 // cluster-level subscribers hear whichever member is acting.
 func (c *Cluster) addMember(mc *MC) {
 	m := &member{mc: mc, ctrlIdx: c.Net.RegisterCtrlHost(), role: roleStandby}
+	// Bind the southbound channel to the member's management-network
+	// endpoint, so partitions between this controller host and switches (or
+	// peer controllers) actually cut its traffic.
+	mc.Ch.CtrlHost = m.ctrlIdx
 	if len(c.members) == 0 {
 		m.role = roleActive
 	}
@@ -300,8 +356,12 @@ func (c *Cluster) ActiveIndex() int {
 	return c.active
 }
 
-// Takeovers reports how many takeovers have completed.
-func (c *Cluster) Takeovers() int { return int(c.takeovers) }
+// Takeovers reports how many takeovers have completed. Safe to call from a
+// goroutine other than the engine's (tests, telemetry scrapers).
+func (c *Cluster) Takeovers() int { return int(atomic.LoadUint32(&c.takeovers)) }
+
+// Fence reports the cluster's current mastership fencing epoch.
+func (c *Cluster) Fence() uint64 { return c.fence }
 
 // replicate ships one journal record to a standby: it arrives and is applied
 // one ReplicationLag later, in append order. Records still in flight when
@@ -329,32 +389,135 @@ func (c *Cluster) drain(m *member) {
 }
 
 // startBeating runs the active's heartbeat ticker: every interval, one
-// unreliable one-way beat to every live peer over the management network. A
-// crashed active's channel is Down, so beats stop exactly when the process
-// dies — no cooperation from the corpse required.
+// unreliable beat to every live peer over the management network. A crashed
+// active's channel is Down, so beats stop exactly when the process dies — no
+// cooperation from the corpse required.
+//
+// The beats double as lease renewals: each acknowledged beat extends the
+// mastership lease to its send time plus LeaseDuration, and leaseCheck fires
+// at the exact lease edge so an unrenewed active steps down at send+D sharp —
+// strictly before any standby's takeover window, which cannot open until
+// LeaseDuration after that standby's last *received* beat (one management
+// latency later than its send). See DESIGN.md §4g for the full ordering
+// argument.
 func (c *Cluster) startBeating(m *member) {
 	m.beatGen++
 	gen := m.beatGen
+	if !c.CCfg.DisableFencing {
+		m.leaseUntil = c.eng().Now().Add(c.CCfg.LeaseDuration)
+		c.armLeaseCheck(m, gen, m.leaseUntil)
+	}
 	var tick func()
 	tick = func() {
 		if gen != m.beatGen || m.role != roleActive {
 			return
 		}
+		sendAt := c.eng().Now()
 		for _, other := range c.members {
 			if other == m || other.role == roleDead {
 				continue
 			}
 			other := other
 			c.Counters.Add("heartbeats_sent", 1)
-			m.mc.Ch.Heartbeat(func() {
+			m.mc.Ch.Heartbeat(other.ctrlIdx, func() {
 				if other.role == roleStandby {
 					other.lastBeat = c.eng().Now()
+					// Hearing the successor releases a demoted ex-active
+					// back into the standby pool.
+					other.demoted = false
+				}
+			}, func(ok bool) {
+				if ok && gen == m.beatGen && m.role == roleActive {
+					c.extendLease(m, gen, sendAt)
 				}
 			})
 		}
 		c.eng().After(c.CCfg.HeartbeatInterval, tick)
 	}
 	c.eng().After(c.CCfg.HeartbeatInterval, tick)
+}
+
+// extendLease renews m's mastership lease off one acknowledged beat: the
+// lease runs LeaseDuration from the beat's *send* time (the conservative
+// end — the ack only proves the peer heard it after that).
+func (c *Cluster) extendLease(m *member, gen uint64, sendAt sim.Time) {
+	if c.CCfg.DisableFencing {
+		return
+	}
+	until := sendAt.Add(c.CCfg.LeaseDuration)
+	if until <= m.leaseUntil {
+		return
+	}
+	m.leaseUntil = until
+	c.armLeaseCheck(m, gen, until)
+}
+
+// armLeaseCheck schedules a step-down check for the exact lease edge. If the
+// lease was extended meanwhile, a newer check is armed and this one is a
+// no-op.
+func (c *Cluster) armLeaseCheck(m *member, gen uint64, until sim.Time) {
+	c.eng().At(until, func() {
+		if gen != m.beatGen || m.role != roleActive || c.CCfg.DisableFencing {
+			return
+		}
+		if c.eng().Now() < m.leaseUntil {
+			return // renewed; the newer edge has its own check
+		}
+		if c.usurperExists(m) {
+			c.stepDown(m)
+			return
+		}
+		// No peer could take over (all dead, or demoted and waiting to hear
+		// from us): mastership cannot be usurped, so the lease self-extends
+		// rather than orphaning the fabric with no controller at all.
+		m.leaseUntil = c.eng().Now().Add(c.CCfg.LeaseDuration)
+		c.armLeaseCheck(m, gen, m.leaseUntil)
+	})
+}
+
+// usurperExists reports whether any standby is in a state where its takeover
+// window could open: alive and not demoted. Exactly those peers force an
+// unrenewed active to step down.
+func (c *Cluster) usurperExists(m *member) bool {
+	for _, other := range c.members {
+		if other != m && other.role == roleStandby && !other.demoted {
+			return true
+		}
+	}
+	return false
+}
+
+// stepDown demotes an active that failed to renew its mastership lease. The
+// order matters: planning quiesces and journal writes stop *now*, at the
+// lease edge, which is strictly before any successor's takeover window opens
+// — so with fencing on, a partitioned-away master never writes concurrently
+// with its successor. The deposed member rejoins as a demoted standby: it
+// rebuilds its state from the journal and watches for the successor's
+// heartbeat, which is what clears the demotion.
+func (c *Cluster) stepDown(m *member) {
+	if m.role != roleActive {
+		return
+	}
+	c.Counters.Add("stepdowns", 1)
+	m.role = roleStandby
+	m.demoted = true
+	m.beatGen++ // cancel the beat ticker and pending lease checks
+	if c.active == c.memberIndex(m) {
+		c.active = -1
+	}
+	m.mc.stepDown()
+	m.pending = nil
+	// Rebuild from the journal: unjournaled in-flight plans from the active
+	// life are discarded — their switch rules (if any landed) are the next
+	// takeover's reconciliation fodder, same as a crashed active's.
+	m.mc.resetState()
+	for _, r := range c.Journal.Records() {
+		m.mc.applyRecord(r)
+	}
+	c.startWatchdog(m)
+	if c.OnStepDown != nil {
+		c.OnStepDown(c.memberIndex(m), c.eng().Now())
+	}
 }
 
 // startWatchdog runs a standby's death detector: every interval it checks
@@ -374,7 +537,7 @@ func (c *Cluster) startWatchdog(m *member) {
 		if c.eng().Now().Sub(m.lastBeat) > c.CCfg.HeartbeatInterval*3/2 {
 			m.missedRun++
 			c.Counters.Add("heartbeats_missed", 1)
-			if m.missedRun >= c.CCfg.HeartbeatMisses && c.takeover(m) {
+			if m.missedRun >= c.CCfg.HeartbeatMisses && c.leaseExpiredFor(m) && c.takeover(m) {
 				return
 			}
 		} else {
@@ -383,6 +546,24 @@ func (c *Cluster) startWatchdog(m *member) {
 		c.eng().After(c.CCfg.HeartbeatInterval, tick)
 	}
 	c.eng().After(c.CCfg.HeartbeatInterval, tick)
+}
+
+// leaseExpiredFor reports whether standby m's side of the lease protocol
+// permits a takeover: LeaseDuration of silence since the last beat it
+// received. Because that beat was *sent* at least one management latency
+// earlier, any correct active has already hit its own (send-time-based)
+// lease edge and stepped down — takeover strictly follows step-down. A
+// demoted ex-active additionally waits to hear its successor (or see it
+// provably crash) before re-entering the race. With the fencing ablation on
+// there is no lease and miss-counting alone decides, zombies and all.
+func (c *Cluster) leaseExpiredFor(m *member) bool {
+	if c.CCfg.DisableFencing {
+		return true
+	}
+	if m.demoted {
+		return false
+	}
+	return c.eng().Now().Sub(m.lastBeat) > c.CCfg.LeaseDuration
 }
 
 // memberCrashed handles a controller-host death: the process stops cold
@@ -397,8 +578,15 @@ func (c *Cluster) memberCrashed(m *member) {
 	m.beatGen++ // cancel tickers
 	m.pending = nil
 	m.mc.crash()
-	if wasActive && c.active == c.memberIndex(m) {
-		c.active = -1
+	if wasActive {
+		if c.active == c.memberIndex(m) {
+			c.active = -1
+		}
+		// The master every demoted standby was waiting to hear from is
+		// provably dead; release them into the takeover race.
+		for _, other := range c.members {
+			other.demoted = false
+		}
 	}
 }
 
@@ -420,29 +608,48 @@ func (c *Cluster) memberRejoined(m *member) {
 
 // takeover promotes standby m to active: drain the replication stream,
 // normalize counters from the journal, bump the controller generation (the
-// cookie field that marks the dead life's rules as stale), attach to the
-// fabric, reconcile every switch, then sweep for channels the blackout left
-// broken. Returns false when another live active exists — the watchdog
-// backs off and keeps watching.
+// cookie field that marks the dead life's rules as stale) and the fencing
+// epoch (announced to every switch so the deposed life's in-flight mutations
+// are rejected), attach to the fabric, reconcile every switch, then sweep
+// for channels the blackout left broken. Returns false when a live active
+// exists that this standby can still hear — the watchdog backs off and keeps
+// watching. An active it *cannot* hear does not stay its hand: after a
+// management partition the standby has no evidence of that master, whose own
+// lease has it stepping down on the other side (or, in the fencing ablation,
+// blundering on as the zombie the epoch check exists to reject).
 func (c *Cluster) takeover(m *member) bool {
-	if c.activeMember() != nil {
+	if a := c.activeMember(); a != nil &&
+		c.Net.MgmtReachable(netsim.MgmtCtrl(a.ctrlIdx), netsim.MgmtCtrl(m.ctrlIdx)) {
 		m.missedRun = 0
 		return false
 	}
-	c.takeovers++
+	atomic.AddUint32(&c.takeovers, 1)
 	c.Counters.Add("takeovers", 1)
 	c.drain(m)
 	mc := m.mc
 	mc.finishRestore(c.Journal)
-	mc.generation = c.takeovers
+	mc.generation = atomic.LoadUint32(&c.takeovers)
 	mc.journal = c.Journal
 	mc.activeCtrl = true
 	m.role = roleActive
+	m.demoted = false
 	c.active = c.memberIndex(m)
+	c.fence++
+	mc.fence = c.fence
+	c.Journal.RaiseFence(c.fence)
 	c.Net.SetController(mc)
 	mc.armEviction()
 	if mc.Cfg.AutoRepair {
 		mc.enableAutoRepair()
+	}
+	if !c.CCfg.DisableFencing {
+		// Announce the new epoch to every reachable switch before any
+		// reconciliation traffic: same channel, same latency, so the Hello
+		// lands first and every later message from a deposed life is stale.
+		mc.Ch.Epoch = c.fence
+		for _, sw := range c.Net.Switches() {
+			mc.Ch.Hello(sw, nil)
+		}
 	}
 	c.startBeating(m)
 
@@ -602,6 +809,20 @@ func (c *Cluster) reconcileSwitch(m *member, sw *netsim.Switch, onDone func(rein
 	}))
 }
 
+// retryAllReconcile retries every switch still flagged for reconciliation,
+// in node order (the flag map is unordered).
+func (c *Cluster) retryAllReconcile() {
+	ids := make([]topo.NodeID, 0, len(c.needsReconcile))
+	// lint:ignore detrange keys are collected then sorted immediately below
+	for id := range c.needsReconcile {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c.retryReconcile(id)
+	}
+}
+
 // retryReconcile re-runs reconciliation for a switch whose takeover pass
 // could not complete, once it is back. No-op without a live active.
 func (c *Cluster) retryReconcile(node topo.NodeID) {
@@ -690,6 +911,12 @@ func (c *Cluster) Telemetry() *metrics.Counters {
 	c.Counters.Set("journal_appends", c.Journal.Appends)
 	c.Counters.Set("journal_snapshots", c.Journal.Snapshots)
 	c.Counters.Set("journal_records", uint64(c.Journal.Len()))
+	c.Counters.Set("journal_divergent", c.Journal.Divergent)
+	var rejects uint64
+	for _, m := range c.members {
+		rejects += m.mc.Ch.StaleRejects
+	}
+	c.Counters.Set("stale_rejects", rejects)
 	var admitted, shed, degraded, refused, restored, evicted uint64
 	for _, m := range c.members {
 		admitted += m.mc.RequestsAdmitted
@@ -763,6 +990,14 @@ func (c *Cluster) EstablishChannel(initiator addr.IP, target string, opts Channe
 					// lint:ignore errdrop releasing a superseded duplicate is best-effort; the caller already got its answer from the retry
 					_ = c.CloseChannel(info.ID, nil)
 				}
+				return
+			}
+			if errors.Is(err, ErrNotActive) && n < c.CCfg.RequestRetries {
+				// The controller answered but had stepped down (lease lost,
+				// partition): wait out the takeover and re-dial the successor.
+				answered = true
+				c.Counters.Add("request_retries", 1)
+				c.eng().After(c.CCfg.RequestTimeout, func() { attempt(n + 1) })
 				return
 			}
 			answered = true

@@ -52,6 +52,19 @@ type Record struct {
 	Seq  uint64
 	Kind RecordKind
 
+	// Fence is the mastership fencing epoch of the controller that wrote
+	// the record (Cluster.fence at append time; 0 for standalone MCs and
+	// the first active life). The journal tracks the highest fence seen:
+	// a record carrying a lower fence was raced in by a deposed master
+	// that never noticed losing its lease — a zombie write.
+	Fence uint64
+
+	// Fenced marks a zombie write detected at append time when the journal
+	// runs with Fencing enabled. Fenced records stay in the log as evidence
+	// but are invisible to Records(), so replay rebuilds state as if the
+	// zombie had never written.
+	Fenced bool
+
 	// Shard identifies which controller shard wrote the record (0 for a
 	// standalone MC). A sharded standby routes each record to the matching
 	// shard on replay, and the per-shard counter high-waters below are
@@ -106,6 +119,20 @@ type Journal struct {
 	// SnapshotEvery overrides the compaction threshold (0 = default).
 	SnapshotEvery int
 
+	// Fencing makes Append discard (mark Fenced) any record whose Fence is
+	// below the journal's high-water mark. The Cluster enables it unless
+	// the fencing ablation is on; either way Divergent counts the stale
+	// appends, so the s11 experiment can measure zombie-write divergence
+	// with enforcement on and off.
+	Fencing bool
+
+	// Divergent counts records that arrived carrying a stale fence — writes
+	// a deposed master raced in after a newer master's first append. The
+	// fenced-mastership acceptance bar is zero.
+	Divergent uint64
+
+	fenceHigh uint64 // highest Fence seen on any append
+
 	base []Record // compacted snapshot: one record per live fact
 	tail []Record // records since the last snapshot
 	seq  uint64
@@ -131,6 +158,18 @@ type Journal struct {
 // NewJournal returns an empty journal with default compaction.
 func NewJournal() *Journal { return &Journal{} }
 
+// RaiseFence records a newly elected master's fencing epoch. The cluster
+// calls it at promotion — before the new life's first append — so a deposed
+// master's write is recognized as divergent no matter how the two lives'
+// appends interleave. Like Append's detection, it runs with Fencing on or
+// off: the ablation must still be able to count the zombie writes it lets
+// through.
+func (j *Journal) RaiseFence(epoch uint64) {
+	if epoch > j.fenceHigh {
+		j.fenceHigh = epoch
+	}
+}
+
 func (j *Journal) snapshotEvery() int {
 	if j.SnapshotEvery > 0 {
 		return j.SnapshotEvery
@@ -144,6 +183,20 @@ func (j *Journal) Append(r Record) {
 	j.seq++
 	r.Seq = j.seq
 	j.Appends++
+	// Fence accounting happens at append time, not replay time: the
+	// compacted base is not fence-ordered, so a replay-side running-max
+	// scan would misclassify legitimate records. Here the interleaving is
+	// the real one, and a stale fence is a zombie write by definition.
+	if r.Fence < j.fenceHigh {
+		j.Divergent++
+		if j.Fencing {
+			r.Fenced = true
+			j.tail = append(j.tail, r)
+			return // discarded: no high-waters, no replication, no replay
+		}
+	} else if r.Fence > j.fenceHigh {
+		j.fenceHigh = r.Fence
+	}
 	if j.allocHighShard == nil {
 		j.allocHighShard = make(map[uint32]uint32)
 		j.groupHighShard = make(map[uint32]uint32)
@@ -187,11 +240,21 @@ func (j *Journal) Append(r Record) {
 func (j *Journal) Follow(fn func(Record)) { j.followers = append(j.followers, fn) }
 
 // Records returns the full current log: snapshot base then tail, in replay
-// order. Replaying them against an empty MC rebuilds its state.
+// order, with Fenced (zombie) records filtered out. Replaying them against
+// an empty MC rebuilds its state.
 func (j *Journal) Records() []Record {
 	out := make([]Record, 0, len(j.base)+len(j.tail))
-	out = append(out, j.base...)
-	return append(out, j.tail...)
+	for _, r := range j.base {
+		if !r.Fenced {
+			out = append(out, r)
+		}
+	}
+	for _, r := range j.tail {
+		if !r.Fenced {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Len reports the current log length (after compaction).
@@ -239,6 +302,9 @@ func (j *Journal) compact() {
 			if i, ok := live[r.Channel]; ok {
 				m := &merged[i]
 				m.Seq = r.Seq
+				if r.Fence > m.Fence {
+					m.Fence = r.Fence
+				}
 				m.Epoch, m.Gen = r.Epoch, r.Gen
 				m.Flows, m.Rules = r.Flows, r.Rules
 				if len(r.Res) > 0 {
@@ -278,7 +344,7 @@ func (mc *MC) journalHidden(name string, ip addr.IP) {
 	if mc.journal == nil {
 		return
 	}
-	mc.journal.Append(Record{Kind: RecHidden, Shard: mc.shardID, Name: name, IP: ip})
+	mc.journal.Append(Record{Kind: RecHidden, Fence: mc.fence, Shard: mc.shardID, Name: name, IP: ip})
 }
 
 func (mc *MC) journalOpen(st *channelState) {
@@ -287,6 +353,7 @@ func (mc *MC) journalOpen(st *channelState) {
 	}
 	mc.journal.Append(Record{
 		Kind:      RecOpen,
+		Fence:     mc.fence,
 		Shard:     mc.shardID,
 		Channel:   st.id,
 		Initiator: st.initiator,
@@ -311,6 +378,7 @@ func (mc *MC) journalUpdate(st *channelState) {
 	}
 	mc.journal.Append(Record{
 		Kind:    RecUpdate,
+		Fence:   mc.fence,
 		Shard:   mc.shardID,
 		Channel: st.id,
 		Epoch:   st.epoch,
@@ -334,7 +402,7 @@ func (mc *MC) journalClose(id uint64) {
 	if mc.journal == nil {
 		return
 	}
-	mc.journal.Append(Record{Kind: RecClose, Shard: mc.shardID, Channel: id})
+	mc.journal.Append(Record{Kind: RecClose, Fence: mc.fence, Shard: mc.shardID, Channel: id})
 }
 
 // applyRecord folds one journal record into the MC's state: the replay half

@@ -13,6 +13,7 @@
 package mic
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -344,6 +345,13 @@ type MC struct {
 	// epoch" that reconciliation keys stale-rule deletion on.
 	generation uint32
 
+	// fence is the mastership fencing epoch this MC holds (Cluster.fence at
+	// promotion; 0 standalone). It is stamped on every journal record so the
+	// store can detect writes raced in by a deposed master, and mirrored
+	// into Ch.Epoch when fencing is enforced so switches reject the same
+	// writes at the southbound boundary.
+	fence uint64
+
 	// notifySubscribed dedupes fabric-event subscription across repeated
 	// activations (takeover after an earlier crash): netsim listeners cannot
 	// be removed, so the MC registers once and gates on liveness instead.
@@ -618,7 +626,35 @@ func (mc *MC) revive() {
 	mc.Ch.AckTimeout = old.AckTimeout
 	mc.Ch.MaxRetries = old.MaxRetries
 	mc.Ch.MaxBackoff = old.MaxBackoff
+	// The management-network binding survives a process restart (same host,
+	// same mgmt port); the fencing epoch does not — a restarted process
+	// re-learns it at its next promotion, like any other volatile state.
+	mc.Ch.CtrlHost = old.CtrlHost
 	mc.resetState()
+}
+
+// ErrNotActive is returned to dials that reach a controller which is not the
+// acting master — a standby, or an ex-active that stepped down after losing
+// its mastership lease. Clients (and the Cluster's retry layer) treat it as
+// a transient: retry until the takeover completes.
+var ErrNotActive = errors.New("mic: controller is not the active master")
+
+// stepDown demotes an active controller that failed to renew its mastership
+// lease: planning quiesces (queued dials are refused with ErrNotActive),
+// journal writes stop, and every closure the active life left on the engine
+// is disarmed. Unlike crash, the process stays up and the channel stays open
+// — in-flight southbound messages may still land, which is exactly what the
+// switch-side fencing epoch exists to reject once a successor announces
+// itself.
+func (mc *MC) stepDown() {
+	if !mc.activeCtrl {
+		return
+	}
+	mc.activeCtrl = false
+	mc.quiesceAdmission()
+	mc.incarnation++
+	mc.journal = nil
+	mc.StopProber()
 }
 
 // resetState clears every piece of channel bookkeeping — a restarted process

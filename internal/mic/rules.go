@@ -63,6 +63,16 @@ func (t tuple) match() flowtable.Match {
 func (mc *MC) EstablishChannel(initiator addr.IP, target string, opts ChannelOptions, cb func(*ChannelInfo, error)) {
 	mc.Requests++
 	opts = opts.withDefaults(mc.Cfg)
+	// A live controller that is not the acting master refuses new dials
+	// outright. This is the step-down contract: a deposed active answers
+	// ErrNotActive (after the request round trip) instead of planning
+	// channels it has no authority to install; the caller's retry layer
+	// re-dials the successor. A crashed MC stays silent — dead processes
+	// don't answer — and the gate below drops the request as before.
+	if !mc.down && !mc.activeCtrl {
+		mc.Net.Eng.After(2*mc.Cfg.RequestLatency, func() { cb(nil, ErrNotActive) })
+		return
+	}
 	// Request packet: sealed by the client, opened by the MC. Both handling
 	// steps are gated on controller liveness: a request in flight when the MC
 	// dies simply vanishes, like any message to a dead process, and the

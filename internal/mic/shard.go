@@ -289,12 +289,26 @@ func (s *ShardedMC) Promote(j *Journal, generation uint32, onDone func(reinstall
 		mc.generation = generation
 		mc.journal = j
 		mc.activeCtrl = true
+		// Per-shard fencing: every shard of this life stamps journal writes
+		// and southbound mutations with the promotion's epoch, so a deposed
+		// life's shards (lower epoch) are rejected shard by shard.
+		mc.fence = uint64(generation)
+		mc.Ch.Epoch = uint64(generation)
 		if mc.Cfg.AutoRepair {
 			mc.enableAutoRepair()
 		}
 	}
+	// The journal learns the new life's epoch at promotion, before its first
+	// append, so a deposed life's raced-in writes read as divergent no
+	// matter how the appends interleave (same contract as Cluster.takeover).
+	j.RaiseFence(uint64(generation))
 	s.Net.SetController(s)
 	s.armEviction()
+	// Announce the epoch before any reconciliation traffic (shard 0's
+	// channel carries cross-shard control messages, as in reconcileSwitch).
+	for _, sw := range s.Net.Switches() {
+		s.shards[0].Ch.Hello(sw, nil)
+	}
 	switches := s.Net.Switches()
 	remaining := len(switches)
 	if remaining == 0 {

@@ -1,0 +1,302 @@
+package mic
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mic/internal/addr"
+	"mic/internal/sim"
+)
+
+// swapCP is the test's stand-in for the cluster's client-facing retry shim
+// around a sharded control plane: dials go to the current ShardedMC and are
+// re-issued on a timer if it died with the request in flight, and client
+// subscriptions survive a takeover by re-registering on the promoted twin.
+// It is what "ShardedMC behind Cluster-style failover" looks like to a
+// client, without duplicating the Cluster's lease machinery.
+type swapCP struct {
+	eng        *sim.Engine
+	cur        *ShardedMC
+	repairSubs []func(RepairEvent)
+	downSubs   []func(uint64, error)
+}
+
+func (c *swapCP) Engine() *sim.Engine { return c.eng }
+func (c *swapCP) ClientSeed() uint64  { return c.cur.ClientSeed() }
+
+func (c *swapCP) EstablishChannel(initiator addr.IP, target string, opts ChannelOptions, cb func(*ChannelInfo, error)) {
+	var attempt func(n int)
+	attempt = func(n int) {
+		answered := false
+		c.cur.EstablishChannel(initiator, target, opts, func(info *ChannelInfo, err error) {
+			if answered {
+				return
+			}
+			answered = true
+			cb(info, err)
+		})
+		c.eng.After(10*time.Millisecond, func() {
+			if answered || n >= 50 {
+				return
+			}
+			answered = true
+			attempt(n + 1)
+		})
+	}
+	attempt(0)
+}
+
+func (c *swapCP) CloseChannel(id uint64, cb func()) error { return c.cur.CloseChannel(id, cb) }
+
+func (c *swapCP) SubscribeRepair(fn func(RepairEvent)) {
+	c.repairSubs = append(c.repairSubs, fn)
+	c.cur.SubscribeRepair(fn)
+}
+
+func (c *swapCP) SubscribeChannelDown(fn func(id uint64, err error)) {
+	c.downSubs = append(c.downSubs, fn)
+	c.cur.SubscribeChannelDown(fn)
+}
+
+// swap routes future requests (and the saved subscriptions) to the promoted
+// standby.
+func (c *swapCP) swap(next *ShardedMC) {
+	c.cur = next
+	for _, fn := range c.repairSubs {
+		next.SubscribeRepair(fn)
+	}
+	for _, fn := range c.downSubs {
+		next.SubscribeChannelDown(fn)
+	}
+}
+
+// shardedStormRun drives one sharded-takeover-under-storm scenario and
+// returns a deterministic summary of everything observable: transfer
+// outcomes, takeover stats, audit, journal accounting, and switch fencing
+// marks. The byte-identity test compares two of these.
+func shardedStormRun(t *testing.T, seed uint64) string {
+	t.Helper()
+	f := newShardFixture(t, Config{MNs: 3, MFlows: 2, AutoRepair: true, Seed: seed}, 4)
+	j := NewJournal()
+	f.smc.AttachJournal(j)
+	cp := &swapCP{eng: f.eng, cur: f.smc}
+
+	// A storm of staggered dials across many edge pairs: some establish and
+	// start sending before the crash, some land in the blackout and must be
+	// re-issued, some arrive only after promotion.
+	const pairs = 8
+	data := pattern(128 << 10)
+	got := make([][]byte, pairs)
+	dialErrs := make([]error, pairs)
+	for i := 0; i < pairs; i++ {
+		i := i
+		resp := f.stacks[(i*3+5)%16]
+		port := uint16(2000 + i)
+		Listen(resp, port, false, func(s *Stream) {
+			s.OnData(func(b []byte) { got[i] = append(got[i], b...) })
+		})
+		f.eng.After(time.Duration(i)*4*time.Millisecond, func() {
+			client := NewClient(f.stacks[i%4], cp)
+			client.Dial(resp.Host.IP.String(), port, func(s *Stream, err error) {
+				if err != nil {
+					dialErrs[i] = err
+					return
+				}
+				s.Send(data)
+			})
+		})
+	}
+
+	// Crash mid-storm; the standby replays and promotes one detection
+	// window later, as the cluster's watchdog would.
+	var reinstalled, stale int
+	var standby *ShardedMC
+	f.eng.After(14*time.Millisecond, func() { f.smc.Crash() })
+	f.eng.After(20*time.Millisecond, func() {
+		var err error
+		standby, err = NewShardedStandby(f.net, Config{MNs: 3, MFlows: 2, AutoRepair: true, Seed: seed}, 4)
+		if err != nil {
+			t.Errorf("standby: %v", err)
+			return
+		}
+		if err := standby.Replay(j); err != nil {
+			t.Errorf("replay: %v", err)
+			return
+		}
+		standby.Promote(j, 1, func(re, st int) { reinstalled, stale = re, st })
+		cp.swap(standby)
+	})
+
+	f.eng.RunUntil(sim.Time(3 * time.Second))
+	var sb strings.Builder
+	for i := 0; i < pairs; i++ {
+		if dialErrs[i] != nil {
+			t.Errorf("storm dial %d: %v", i, dialErrs[i])
+		}
+		if !bytes.Equal(got[i], data) {
+			t.Errorf("storm transfer %d broken through the takeover: %d/%d bytes", i, len(got[i]), len(data))
+		}
+		fmt.Fprintf(&sb, "transfer %d: %d bytes\n", i, len(got[i]))
+	}
+	auditStale, auditMissing := standby.Audit()
+	if auditStale != 0 || auditMissing != 0 {
+		t.Errorf("post-takeover audit: stale=%d missing=%d", auditStale, auditMissing)
+	}
+	fmt.Fprintf(&sb, "takeover: reinstalled=%d stale=%d\n", reinstalled, stale)
+	fmt.Fprintf(&sb, "audit: stale=%d missing=%d\n", auditStale, auditMissing)
+	fmt.Fprintf(&sb, "live=%d divergent=%d appends=%d records=%d\n",
+		standby.LiveChannels(), j.Divergent, j.Appends, j.Len())
+	for _, sw := range f.net.Switches() {
+		fmt.Fprintf(&sb, "%s: fence=%d rejects=%d rules=%d\n", sw.Name, sw.FenceEpoch, sw.StaleRejected, sw.Table.Len())
+	}
+	for _, mc := range standby.shards {
+		mc.StopProber()
+	}
+	f.eng.Run()
+	return sb.String()
+}
+
+// TestShardedTakeoverMidDialStorm: the PR 9 sharded standby must absorb a
+// takeover while a dial storm is in flight — pre-crash channels keep
+// forwarding, blackout-window dials retry onto the promoted twin, and the
+// union-intent reconciliation still audits clean.
+func TestShardedTakeoverMidDialStorm(t *testing.T) {
+	shardedStormRun(t, 7)
+}
+
+// TestShardedStormByteIdentity: the storm-takeover scenario is part of the
+// determinism contract — same seed, same crash schedule, byte-identical
+// observables (including journal accounting and per-switch fencing state).
+func TestShardedStormByteIdentity(t *testing.T) {
+	a := shardedStormRun(t, 11)
+	b := shardedStormRun(t, 11)
+	if a != b {
+		t.Fatalf("sharded storm takeover diverged across identical runs:\n--- run1\n%s--- run2\n%s", a, b)
+	}
+}
+
+// TestShardedDoubleFailover: active dies, standby1 promotes (epoch 1) and
+// serves; standby1 dies too, standby2 replays the same journal — now
+// containing records from two lives — and promotes at epoch 2. Channels
+// from both lives must survive, the audit must come back clean, and every
+// switch's fencing mark must have followed the epochs up.
+func TestShardedDoubleFailover(t *testing.T) {
+	f := newShardFixture(t, Config{MNs: 3, MFlows: 2, AutoRepair: true}, 4)
+	j := NewJournal()
+	f.smc.AttachJournal(j)
+	cp := &swapCP{eng: f.eng, cur: f.smc}
+
+	data := pattern(64 << 10)
+	var gotA, gotB []byte
+	respA := f.stacks[7]
+	Listen(respA, 80, false, func(s *Stream) {
+		s.OnData(func(b []byte) { gotA = append(gotA, b...) })
+	})
+	clientA := NewClient(f.stacks[0], cp)
+	clientA.Dial(respA.Host.IP.String(), 80, func(s *Stream, err error) {
+		if err != nil {
+			t.Errorf("dial A: %v", err)
+			return
+		}
+		s.Send(data)
+	})
+
+	// First failover at 15ms.
+	var standby1, standby2 *ShardedMC
+	f.eng.After(15*time.Millisecond, func() { f.smc.Crash() })
+	f.eng.After(21*time.Millisecond, func() {
+		var err error
+		standby1, err = NewShardedStandby(f.net, Config{MNs: 3, MFlows: 2, AutoRepair: true}, 4)
+		if err != nil {
+			t.Errorf("standby1: %v", err)
+			return
+		}
+		if err := standby1.Replay(j); err != nil {
+			t.Errorf("replay1: %v", err)
+			return
+		}
+		standby1.Promote(j, 1, nil)
+		cp.swap(standby1)
+	})
+
+	// A second-life channel, journaled by standby1.
+	respB := f.stacks[10]
+	Listen(respB, 81, false, func(s *Stream) {
+		s.OnData(func(b []byte) { gotB = append(gotB, b...) })
+	})
+	f.eng.After(40*time.Millisecond, func() {
+		clientB := NewClient(f.stacks[2], cp)
+		clientB.Dial(respB.Host.IP.String(), 81, func(s *Stream, err error) {
+			if err != nil {
+				t.Errorf("dial B: %v", err)
+				return
+			}
+			s.Send(data)
+		})
+	})
+
+	// Second failover at 70ms: standby2 replays records from both lives.
+	f.eng.After(70*time.Millisecond, func() { standby1.Crash() })
+	f.eng.After(76*time.Millisecond, func() {
+		var err error
+		standby2, err = NewShardedStandby(f.net, Config{MNs: 3, MFlows: 2, AutoRepair: true}, 4)
+		if err != nil {
+			t.Errorf("standby2: %v", err)
+			return
+		}
+		if err := standby2.Replay(j); err != nil {
+			t.Errorf("replay2: %v", err)
+			return
+		}
+		standby2.Promote(j, 2, nil)
+		cp.swap(standby2)
+	})
+
+	f.eng.RunUntil(sim.Time(3 * time.Second))
+	if !bytes.Equal(gotA, data) {
+		t.Fatalf("first-life transfer broken: %d/%d bytes", len(gotA), len(data))
+	}
+	if !bytes.Equal(gotB, data) {
+		t.Fatalf("second-life transfer broken: %d/%d bytes", len(gotB), len(data))
+	}
+	if st, miss := standby2.Audit(); st != 0 || miss != 0 {
+		t.Fatalf("audit after double failover: stale=%d missing=%d", st, miss)
+	}
+	if n := standby2.LiveChannels(); n != 2 {
+		t.Fatalf("live channels after double failover = %d, want 2", n)
+	}
+	if j.Divergent != 0 {
+		t.Fatalf("journal divergence = %d across two clean failovers, want 0", j.Divergent)
+	}
+	for _, sw := range f.net.Switches() {
+		if sw.FenceEpoch != 2 {
+			t.Fatalf("%s fencing mark = %d after the epoch-2 promotion, want 2", sw.Name, sw.FenceEpoch)
+		}
+	}
+
+	// The epoch-2 controller serves fresh dials.
+	respC := f.stacks[13]
+	Listen(respC, 82, false, func(s *Stream) {
+		s.OnData(func(b []byte) { s.Send(b) })
+	})
+	var reply []byte
+	clientC := NewClient(f.stacks[4], cp)
+	clientC.Dial(respC.Host.IP.String(), 82, func(s *Stream, err error) {
+		if err != nil {
+			t.Fatalf("post-double-failover dial: %v", err)
+		}
+		s.OnData(func(b []byte) { reply = append(reply, b...) })
+		s.Send([]byte("third life"))
+	})
+	f.eng.RunUntil(sim.Time(4 * time.Second))
+	for _, mc := range standby2.shards {
+		mc.StopProber()
+	}
+	f.eng.Run()
+	if string(reply) != "third life" {
+		t.Fatalf("post-double-failover reply = %q", reply)
+	}
+}

@@ -169,6 +169,8 @@ const (
 	SwitchUp
 	CtrlDown
 	CtrlUp
+	Partition
+	Heal
 )
 
 // String names the event kind.
@@ -186,6 +188,10 @@ func (k EventKind) String() string {
 		return "ctrl-down"
 	case CtrlUp:
 		return "ctrl-up"
+	case Partition:
+		return "partition"
+	case Heal:
+		return "heal"
 	}
 	return "unknown"
 }
@@ -197,11 +203,17 @@ func (k EventKind) String() string {
 // controller-host index in Port and -1 in Node: controllers live off-fabric
 // (an out-of-band management network, as in OpenFlow deployments), so they
 // have no topology node.
+// Partition/Heal events carry the directional management-network cut in
+// From/To (Node and Port are -1): one event per direction that flipped.
 type Event struct {
 	Kind EventKind
 	Node topo.NodeID
 	Port int
 	At   sim.Time
+
+	// From/To identify the management-network direction of a Partition or
+	// Heal event; zero-valued otherwise.
+	From, To MgmtEnd
 }
 
 // Listener receives fabric events. Listeners run synchronously at the
@@ -264,6 +276,10 @@ type Network struct {
 	listeners []Listener
 	faultSeed uint64
 	ctrlHosts []bool // down flag per registered controller host
+
+	// mgmtCuts holds the active directional management-network partitions
+	// (SetMgmtCut). Nil when the management network is whole.
+	mgmtCuts map[mgmtCut]bool
 
 	// pool recycles data-plane packets. Per network (not global) because
 	// the harness runs independent engines on parallel goroutines.

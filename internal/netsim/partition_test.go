@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"testing"
+
+	"mic/internal/sim"
+	"mic/internal/topo"
+)
+
+// TestMgmtCutIsDirectional: cutting A→B kills only that direction; B→A and
+// every other pair stay reachable, and healing restores the cut direction.
+func TestMgmtCutIsDirectional(t *testing.T) {
+	g, _ := topo.Linear(2)
+	n := New(sim.New(), g, Config{})
+	a, b := MgmtCtrl(0), MgmtCtrl(1)
+	sw := MgmtSwitch(g.Switches()[0])
+
+	if !n.MgmtReachable(a, b) || !n.MgmtReachable(b, a) {
+		t.Fatal("fresh network has cuts")
+	}
+	n.SetMgmtCut(a, b, true)
+	if n.MgmtReachable(a, b) {
+		t.Fatal("a->b reachable through a cut")
+	}
+	if !n.MgmtReachable(b, a) {
+		t.Fatal("b->a collateral damage from a directional a->b cut")
+	}
+	if !n.MgmtReachable(a, sw) || !n.MgmtReachable(sw, a) {
+		t.Fatal("ctrl-switch paths affected by a ctrl-ctrl cut")
+	}
+	n.SetMgmtCut(a, b, false)
+	if !n.MgmtReachable(a, b) {
+		t.Fatal("heal did not restore a->b")
+	}
+}
+
+// TestCutSetsSymmetric: CutSets severs every direction between the groups
+// and nothing within a group; HealSets undoes exactly that.
+func TestCutSetsSymmetric(t *testing.T) {
+	g, _ := topo.Linear(2)
+	n := New(sim.New(), g, Config{})
+	a := []MgmtEnd{MgmtCtrl(0)}
+	b := []MgmtEnd{MgmtCtrl(1), MgmtSwitch(g.Switches()[0])}
+
+	n.CutSets(a, b)
+	for _, y := range b {
+		if n.MgmtReachable(a[0], y) || n.MgmtReachable(y, a[0]) {
+			t.Fatalf("path ctrl0<->%v survived CutSets", y)
+		}
+	}
+	if !n.MgmtReachable(b[0], b[1]) || !n.MgmtReachable(b[1], b[0]) {
+		t.Fatal("CutSets severed a path within group b")
+	}
+	n.HealSets(a, b)
+	for _, y := range b {
+		if !n.MgmtReachable(a[0], y) || !n.MgmtReachable(y, a[0]) {
+			t.Fatalf("path ctrl0<->%v not restored by HealSets", y)
+		}
+	}
+}
+
+// TestMgmtCutEvents: each state flip emits exactly one Partition/Heal event
+// with the endpoints filled in; redundant flips are silent.
+func TestMgmtCutEvents(t *testing.T) {
+	g, _ := topo.Linear(1)
+	n := New(sim.New(), g, Config{})
+	var evs []Event
+	n.Notify(func(ev Event) { evs = append(evs, ev) })
+	a, b := MgmtCtrl(0), MgmtCtrl(1)
+
+	n.SetMgmtCut(a, b, true)
+	n.SetMgmtCut(a, b, true) // no-op: already cut
+	n.SetMgmtCut(a, b, false)
+	n.SetMgmtCut(a, b, false) // no-op: already healed
+
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2 (one Partition, one Heal)", len(evs))
+	}
+	if evs[0].Kind != Partition || evs[0].From != a || evs[0].To != b {
+		t.Fatalf("first event = %+v, want Partition %v->%v", evs[0], a, b)
+	}
+	if evs[1].Kind != Heal || evs[1].From != a || evs[1].To != b {
+		t.Fatalf("second event = %+v, want Heal %v->%v", evs[1], a, b)
+	}
+}
+
+// TestAcceptFencedMonotonic: the switch's fencing mark only rises; writes at
+// or above the mark pass (and raise it), writes below are rejected and
+// counted.
+func TestAcceptFencedMonotonic(t *testing.T) {
+	g, _ := topo.Linear(1)
+	n := New(sim.New(), g, Config{})
+	sw := n.Switch(g.Switches()[0])
+
+	if !sw.AcceptFenced(0) || !sw.AcceptFenced(0) {
+		t.Fatal("epoch-0 writes rejected on a fresh switch")
+	}
+	if !sw.AcceptFenced(3) {
+		t.Fatal("higher epoch rejected")
+	}
+	if sw.FenceEpoch != 3 {
+		t.Fatalf("mark = %d, want 3", sw.FenceEpoch)
+	}
+	if sw.AcceptFenced(2) {
+		t.Fatal("stale epoch accepted")
+	}
+	if !sw.AcceptFenced(3) {
+		t.Fatal("write at the mark rejected")
+	}
+	if sw.StaleRejected != 1 {
+		t.Fatalf("StaleRejected = %d, want 1", sw.StaleRejected)
+	}
+}

@@ -23,11 +23,33 @@ type Switch struct {
 	// Down marks a failed switch: it black-holes all traffic.
 	Down bool
 
+	// FenceEpoch is the highest controller fencing epoch this switch has
+	// seen on a mutating southbound message. State mutations carrying a
+	// lower epoch are rejected (AcceptFenced) — the switch-side half of the
+	// cluster's zombie-primary defence. It lives on the switch struct, not
+	// the connection, so it survives switch crash/restart cycles the way a
+	// generation-id persisted to switch flash would.
+	FenceEpoch uint64
+
 	// Counters.
-	RxPackets uint64
-	TxPackets uint64
-	Misses    uint64
-	CacheHits uint64 // lookups served by the microflow cache (fast path)
+	RxPackets     uint64
+	TxPackets     uint64
+	Misses        uint64
+	CacheHits     uint64 // lookups served by the microflow cache (fast path)
+	StaleRejected uint64 // mutations rejected for carrying a stale fencing epoch
+}
+
+// AcceptFenced checks a mutating southbound message's fencing epoch against
+// the high-water mark: stale epochs are rejected, newer ones raise the mark.
+// Standalone controllers never announce an epoch, so the mark stays 0 and
+// their (epoch-0) mutations always pass.
+func (s *Switch) AcceptFenced(epoch uint64) bool {
+	if epoch < s.FenceEpoch {
+		s.StaleRejected++
+		return false
+	}
+	s.FenceEpoch = epoch
+	return true
 }
 
 // recv runs the pipeline for one arriving packet. Lookups served by the
